@@ -1,0 +1,308 @@
+// Command chkptbench regenerates the paper's evaluation artifacts:
+//
+//	chkptbench -figure 8            # Figure 8: overhead ratio vs n
+//	chkptbench -figure 9 [-n 64]    # Figure 9: overhead ratio vs w_m
+//	chkptbench -figure validate     # Monte Carlo vs analytic (extra)
+//	chkptbench -figure messages     # measured control messages per
+//	                                # checkpoint vs the §4.1 formulas
+//	chkptbench -figure domino       # useless checkpoints & rollback
+//	                                # distance: uncoordinated vs ours
+//	chkptbench -figure runtime      # EMPIRICAL Figure 8: overhead ratio
+//	                                # measured on the runtime in virtual time
+//
+// Output is whitespace-separated columns suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/markov"
+	"repro/internal/montecarlo"
+	"repro/internal/mpl"
+	"repro/internal/protocol"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/zigzag"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chkptbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		figure = fs.String("figure", "8", `which artifact: "8", "9", "validate", "messages"`)
+		n      = fs.Int("n", 64, "process count for figure 9")
+		trials = fs.Int("trials", 100000, "Monte Carlo trials for validate")
+		lambda = fs.Float64("lambda1", markov.PaperBaseline.Lambda1, "per-process failure rate")
+		wm     = fs.Float64("wm", markov.PaperBaseline.WM, "message setup time w_m (seconds)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	b := markov.PaperBaseline
+	b.Lambda1 = *lambda
+	b.WM = *wm
+
+	switch *figure {
+	case "8":
+		pts, err := markov.Figure8(b, markov.DefaultFigure8Ns())
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "# Figure 8: overhead ratio r vs number of processes n")
+		fmt.Fprintln(stdout, "# n  appl-driven  SaS  C-L")
+		for _, pt := range pts {
+			fmt.Fprintf(stdout, "%-6.0f %-12.6g %-12.6g %-12.6g\n", pt.X, pt.ApplDriven, pt.SaS, pt.CL)
+		}
+	case "9":
+		pts, err := markov.Figure9(b, *n, markov.DefaultFigure9WMs())
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "# Figure 9: overhead ratio r vs message setup time w_m (n=%d)\n", *n)
+		fmt.Fprintln(stdout, "# w_m  appl-driven  SaS  C-L")
+		for _, pt := range pts {
+			fmt.Fprintf(stdout, "%-8.4g %-12.6g %-12.6g %-12.6g\n", pt.X, pt.ApplDriven, pt.SaS, pt.CL)
+		}
+	case "validate":
+		rows, err := montecarlo.ValidateFigure8(b, []int{2, 16, 128, 1024}, *trials, 1)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "# Monte Carlo validation of the analytic overhead ratio")
+		fmt.Fprintln(stdout, "# protocol  n  analytic  simulated")
+		for _, row := range rows {
+			fmt.Fprintf(stdout, "%-12s %-6d %-12.6g %s\n",
+				row.Protocol, row.N, row.Analytic, row.Simulated)
+		}
+	case "messages":
+		return runMessages(stdout, stderr)
+	case "domino":
+		return runDomino(stdout, stderr)
+	case "runtime":
+		return runEmpirical(stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "chkptbench: unknown figure %q\n", *figure)
+		return 2
+	}
+	return 0
+}
+
+// runMessages measures real control-message counts per checkpoint round on
+// the concurrent runtime and compares them with the §4.1 formulas.
+func runMessages(stdout, stderr io.Writer) int {
+	const iters = 2
+	fmt.Fprintln(stdout, "# measured control messages per checkpoint round vs the paper's formulas")
+	fmt.Fprintln(stdout, "# n  appl  sas(meas)  sas=5(n-1)  cl(meas)  cl markers=n(n-1)")
+	for _, n := range []int{2, 4, 8, 12} {
+		prog := corpus.JacobiFig1(iters)
+		appl, err := sim.Run(sim.Config{Program: prog, Nproc: n, DisableTrace: true})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		sas, err := sim.Run(sim.Config{Program: prog, Nproc: n, Hooks: protocol.SaS(0), DisableTrace: true})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		cl, err := sim.Run(sim.Config{Program: prog, Nproc: n, Hooks: protocol.CL(0, protocol.NewCLCollector()), DisableTrace: true})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-4d %-6d %-10d %-11d %-9d %d\n",
+			n,
+			appl.Metrics.CtrlMessages/iters,
+			sas.Metrics.CtrlMessages/iters, 5*(n-1),
+			cl.Metrics.CtrlMessages/iters, n*(n-1))
+	}
+	return 0
+}
+
+// runEmpirical measures overhead ratios on the concurrent runtime in
+// virtual time: the same Jacobi workload runs checkpoint-free (the
+// baseline T), then under each protocol; r̂ = makespan/baseline − 1. This
+// is the runtime counterpart of the analytic Figure 8 — coordination costs
+// (barrier stalls, marker floods) surface as measured time rather than as
+// a formula.
+func runEmpirical(stdout, stderr io.Writer) int {
+	const iters = 4
+	tm := sim.PaperTimeModel
+	// Per-iteration computation of T ≈ 300 s (the paper's programmed
+	// interval): 300000 work units at 1 ms each.
+	const workUnits = 300000
+	fmt.Fprintln(stdout, "# empirical overhead ratio (virtual time), Jacobi workload, T≈300s/interval")
+	fmt.Fprintln(stdout, "# n  baseline(s)  appl-driven  SaS  C-L")
+	for _, n := range []int{2, 4, 8, 16} {
+		prog := jacobiWithWork(iters, workUnits)
+		bare := mpl.Clone(prog)
+		stripChkpts(bare)
+
+		measure := func(p *mpl.Program, hooks sim.HooksFactory) (float64, bool) {
+			res, err := sim.Run(sim.Config{
+				Program: p, Nproc: n, Hooks: hooks, Time: &tm, DisableTrace: true,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "chkptbench:", err)
+				return 0, false
+			}
+			return res.VTime, true
+		}
+		base, ok := measure(bare, nil)
+		if !ok {
+			return 1
+		}
+		appl, ok := measure(prog, nil)
+		if !ok {
+			return 1
+		}
+		sas, ok := measure(prog, protocol.SaS(0))
+		if !ok {
+			return 1
+		}
+		cl, ok := measure(prog, protocol.CL(0, protocol.NewCLCollector()))
+		if !ok {
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-4d %-12.4f %-12.6f %-12.6f %-12.6f\n",
+			n, base, appl/base-1, sas/base-1, cl/base-1)
+	}
+	return 0
+}
+
+// jacobiWithWork is the Figure 1 Jacobi exchange with a heavy per-iteration
+// computation so each checkpoint interval costs about the paper's T.
+func jacobiWithWork(iters, workUnits int) *mpl.Program {
+	return mpl.NewBuilder("jacobi_heavy").
+		Const("MAXITER", iters).
+		Vars("x", "xl", "xr", "iter").
+		Assign("x", mpl.Add(mpl.Rank(), mpl.Int(1))).
+		Assign("iter", mpl.Int(0)).
+		While(mpl.Lt(mpl.V("iter"), mpl.V("MAXITER")), func(b *mpl.Builder) {
+			b.Chkpt()
+			b.Work(mpl.Int(workUnits))
+			b.Send(mpl.Sub(mpl.Rank(), mpl.Int(1)), "x")
+			b.Send(mpl.Add(mpl.Rank(), mpl.Int(1)), "x")
+			b.Recv(mpl.Sub(mpl.Rank(), mpl.Int(1)), "xl")
+			b.Recv(mpl.Add(mpl.Rank(), mpl.Int(1)), "xr")
+			b.Assign("x", mpl.Div(mpl.Add(mpl.Add(mpl.V("x"), mpl.V("xl")), mpl.V("xr")), mpl.Int(3)))
+			b.Assign("iter", mpl.Add(mpl.V("iter"), mpl.Int(1)))
+		}).
+		MustProgram()
+}
+
+// stripChkpts removes all checkpoint statements (baseline measurement).
+func stripChkpts(p *mpl.Program) {
+	var fix func(body []mpl.Stmt) []mpl.Stmt
+	fix = func(body []mpl.Stmt) []mpl.Stmt {
+		out := body[:0]
+		for _, s := range body {
+			if _, ok := s.(*mpl.Chkpt); ok {
+				continue
+			}
+			switch st := s.(type) {
+			case *mpl.While:
+				st.Body = fix(st.Body)
+			case *mpl.If:
+				st.Then = fix(st.Then)
+				st.Else = fix(st.Else)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	p.Body = fix(p.Body)
+}
+
+// runDomino contrasts the application-driven scheme with uncoordinated
+// checkpointing on random workloads: useless checkpoints (Z-cycle
+// analysis) and rollback steps needed at recovery.
+func runDomino(stdout, stderr io.Writer) int {
+	const n = 4
+	input := func(rank, i int) int { return rank ^ i }
+	fmt.Fprintln(stdout, "# useless checkpoints and recovery rollback distance, random workloads (n=4)")
+	fmt.Fprintln(stdout, "# workload  appl-ckpts  appl-useless  uncoord-ckpts  uncoord-useless  uncoord-rollbacks")
+	for seed := int64(-1); seed < 8; seed++ {
+		prog := corpus.Random(seed)
+		label := fmt.Sprintf("seed%d", seed)
+		interval := 3 // timer-driven uncoordinated checkpoints
+		if seed < 0 {
+			// The canonical Netzer-Xu pattern: uncoordinated checkpoints
+			// at the program's own (zigzag-prone) statements.
+			prog = corpus.ZigzagProne(3)
+			label = "zigzag"
+			interval = 0
+		}
+		rep, err := core.Transform(prog, core.DefaultConfig)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		applRes, err := sim.Run(sim.Config{Program: rep.Program, Nproc: n, Input: input})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		applZ, err := zigzag.FromTrace(applRes.Trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		applStats := applZ.Stats()
+
+		// Uncoordinated: timer-driven local checkpoints on the
+		// UNTRANSFORMED program. The zigzag stats come from a failure-free
+		// run (a post-recovery trace only covers the last incarnation);
+		// the rollback distance from a separate crashed run recovered by
+		// searching for the latest consistent cut.
+		uncClean, err := sim.Run(sim.Config{
+			Program: prog,
+			Nproc:   n,
+			Input:   input,
+			Hooks:   protocol.Uncoordinated(interval),
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		uncZ, err := zigzag.FromTrace(uncClean.Trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		uncStats := uncZ.Stats()
+		victim := int(seed) % n
+		if victim < 0 {
+			victim += n
+		}
+		uncCrash, err := sim.Run(sim.Config{
+			Program:      prog,
+			Nproc:        n,
+			Input:        input,
+			Hooks:        protocol.Uncoordinated(interval),
+			Failures:     []sim.Failure{{Proc: victim, AfterEvents: 14}},
+			Recover:      recovery.LatestConsistent,
+			DisableTrace: true,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-10s %-11d %-13d %-14d %-16d %d\n",
+			label, applStats.Total, applStats.Useless,
+			uncStats.Total, uncStats.Useless, uncCrash.RolledBack)
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFigure8Output(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-figure", "8"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	lines := nonComment(out.String())
+	if len(lines) != 10 {
+		t.Fatalf("rows = %d, want 10:\n%s", len(lines), out.String())
+	}
+	// Each row: n appl sas cl, with appl smallest.
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			t.Fatalf("bad row %q", line)
+		}
+		appl := parse(t, f[1])
+		sas := parse(t, f[2])
+		cl := parse(t, f[3])
+		if !(appl < sas && appl < cl) {
+			t.Errorf("appl-driven not smallest in row %q", line)
+		}
+	}
+}
+
+func TestFigure9Output(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-figure", "9", "-n", "32"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	lines := nonComment(out.String())
+	if len(lines) < 5 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	first := parse(t, strings.Fields(lines[0])[1])
+	last := parse(t, strings.Fields(lines[len(lines)-1])[1])
+	if first != last {
+		t.Errorf("appl-driven moved with w_m: %v -> %v", first, last)
+	}
+}
+
+func TestValidateOutput(t *testing.T) {
+	var out, errb strings.Builder
+	// Default λ₁ keeps every n in the sweep feasible; an inflated rate at
+	// n=1024 would make intervals effectively never complete (the
+	// montecarlo package rejects such regimes).
+	if code := run([]string{"-figure", "validate", "-trials", "2000"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "±") {
+		t.Errorf("no estimates in output:\n%s", out.String())
+	}
+}
+
+func TestMessagesOutput(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-figure", "messages"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	lines := nonComment(out.String())
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		// measured SaS (f[2]) must equal formula (f[3]); measured C-L
+		// (f[4]) must equal markers formula (f[5]).
+		if f[2] != f[3] {
+			t.Errorf("SaS measured %s != formula %s in %q", f[2], f[3], line)
+		}
+		if f[4] != f[5] {
+			t.Errorf("C-L measured %s != formula %s in %q", f[4], f[5], line)
+		}
+		if f[1] != "0" {
+			t.Errorf("appl-driven ctrl %s != 0 in %q", f[1], line)
+		}
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-figure", "42"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func nonComment(s string) []string {
+	var out []string
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,216 @@
+// Command chkptsim executes an MPL program on the concurrent runtime under
+// a chosen checkpointing protocol, optionally injecting failures, and
+// reports metrics plus recovery-line verification of the recorded trace.
+//
+// Usage:
+//
+//	chkptsim -n 4 [-protocol appl|sas|cl|cic|uncoord] [-fail proc:events]
+//	         [-transform] [-verify] program.mpl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mpl"
+	"repro/internal/protocol"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/zigzag"
+)
+
+type failureList []sim.Failure
+
+func (f *failureList) String() string { return fmt.Sprint(*f) }
+
+func (f *failureList) Set(v string) error {
+	parts := strings.SplitN(v, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want proc:events, got %q", v)
+	}
+	proc, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return err
+	}
+	events, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return err
+	}
+	*f = append(*f, sim.Failure{Proc: proc, AfterEvents: events})
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chkptsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var failures failureList
+	var (
+		nproc     = fs.Int("n", 4, "number of processes")
+		protoName = fs.String("protocol", "appl", "checkpointing protocol: appl, sas, cl, cic, uncoord")
+		transform = fs.Bool("transform", false, "run the offline transformation (phases I-III) before executing")
+		verify    = fs.Bool("verify", true, "verify that every straight cut of the trace is a recovery line")
+		interval  = fs.Int("uncoord-interval", 10, "uncoordinated mode: local events between checkpoints")
+		storeKind = fs.String("store", "mem", "stable storage: mem, incremental, or a directory path for the file store")
+		zz        = fs.Bool("zigzag", false, "run the Netzer-Xu Z-cycle analysis on the recorded trace and report useless checkpoints")
+	)
+	fs.Var(&failures, "fail", "inject a failure as proc:events (repeatable; k-th flag applies to incarnation k)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: chkptsim [flags] program.mpl (use - for stdin)")
+		fs.PrintDefaults()
+		return 2
+	}
+	src, err := readSource(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "chkptsim:", err)
+		return 1
+	}
+	prog, err := mpl.Parse(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "chkptsim:", err)
+		return 1
+	}
+	if *transform {
+		rep, err := core.Transform(prog, core.DefaultConfig)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptsim:", err)
+			return 1
+		}
+		prog = rep.Program
+	}
+
+	cfg := sim.Config{
+		Program:  prog,
+		Nproc:    *nproc,
+		Failures: failures,
+		Input:    func(rank, i int) int { return rank + i },
+	}
+	var incStore *storage.Incremental
+	switch *storeKind {
+	case "mem":
+		// default in-memory store
+	case "incremental":
+		incStore = storage.NewIncremental(0)
+		cfg.Store = incStore
+	default:
+		fileStore, err := storage.NewFile(*storeKind)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptsim:", err)
+			return 1
+		}
+		cfg.Store = fileStore
+	}
+	switch *protoName {
+	case "appl":
+		// coordination-free: no hooks
+	case "sas":
+		cfg.Hooks = protocol.SaS(0)
+	case "cl":
+		cfg.Hooks = protocol.CL(0, protocol.NewCLCollector())
+	case "cic":
+		cfg.Hooks = protocol.CIC()
+	case "uncoord":
+		cfg.Hooks = protocol.Uncoordinated(*interval)
+		cfg.Recover = recovery.LatestConsistent
+	default:
+		fmt.Fprintf(stderr, "chkptsim: unknown protocol %q\n", *protoName)
+		return 2
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "chkptsim:", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "program %s: n=%d protocol=%s restarts=%d\n",
+		prog.Name, *nproc, *protoName, res.Restarts)
+	fmt.Fprintf(stdout, "metrics: %s\n", res.Metrics)
+	if incStore != nil {
+		st := incStore.Stats()
+		fmt.Fprintf(stdout, "incremental store: %dB full + %dB delta\n", st.FullBytes, st.DeltaBytes)
+	}
+	for p, vars := range res.FinalVars {
+		fmt.Fprintf(stdout, "  proc %d: %v\n", p, sortedVars(vars))
+	}
+
+	if *zz && res.Trace != nil {
+		analysis, err := zigzag.FromTrace(res.Trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptsim: zigzag:", err)
+			return 1
+		}
+		stats := analysis.Stats()
+		fmt.Fprintf(stdout, "zigzag: %d checkpoint(s), %d useless\n", stats.Total, stats.Useless)
+		for _, c := range analysis.Useless() {
+			fmt.Fprintf(stdout, "  useless: %v (on a Z-cycle; member of no consistent snapshot)\n", c)
+		}
+	}
+
+	if *verify && res.Trace != nil {
+		bad := 0
+		for _, idx := range res.Trace.CheckpointIndexes() {
+			cut, err := res.Trace.StraightCut(idx)
+			if err != nil {
+				fmt.Fprintf(stdout, "R_%d: incomplete (%v)\n", idx, err)
+				continue
+			}
+			if trace.IsRecoveryLine(cut) {
+				fmt.Fprintf(stdout, "R_%d: recovery line\n", idx)
+			} else {
+				a, b, _ := trace.FirstViolation(cut)
+				fmt.Fprintf(stdout, "R_%d: INCONSISTENT (%v happened before %v)\n", idx, a, b)
+				bad++
+			}
+		}
+		if bad > 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func sortedVars(vars map[string]int) string {
+	keys := make([]string, 0, len(vars))
+	for k := range vars {
+		keys = append(keys, k)
+	}
+	// insertion sort; variable sets are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%d", k, vars[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

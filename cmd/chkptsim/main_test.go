@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fig2Src = `
+program jacobi
+const MAXITER = 3
+var x, y, iter
+proc {
+    iter = 0
+    while iter < MAXITER {
+        if rank % 2 == 0 {
+            chkpt
+            send(rank + 1, x)
+            recv(rank + 1, y)
+        } else {
+            recv(rank - 1, y)
+            send(rank - 1, x)
+            chkpt
+        }
+        iter = iter + 1
+    }
+}
+`
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mpl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUntransformedReportsInconsistency(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	var out, errb strings.Builder
+	code := run([]string{"-n", "4", path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (inconsistent cut)\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "INCONSISTENT") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunTransformedIsConsistent(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	var out, errb strings.Builder
+	code := run([]string{"-n", "4", "-transform", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "recovery line") {
+		t.Errorf("output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "restarts=0") {
+		t.Errorf("unexpected restarts: %q", out.String())
+	}
+}
+
+func TestRunWithFailureRecovers(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	var out, errb strings.Builder
+	code := run([]string{"-n", "4", "-transform", "-fail", "1:8", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "restarts=1") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestProtocols(t *testing.T) {
+	safe := strings.Replace(fig2Src,
+		"recv(rank - 1, y)\n            send(rank - 1, x)\n            chkpt",
+		"chkpt\n            recv(rank - 1, y)\n            send(rank - 1, x)", 1)
+	path := writeTemp(t, safe)
+	for _, proto := range []string{"appl", "sas", "cl", "cic", "uncoord"} {
+		t.Run(proto, func(t *testing.T) {
+			var out, errb strings.Builder
+			// Protocol checkpoints of cl/sas/cic use their own indexes;
+			// straight-cut trace verification applies to appl only.
+			args := []string{"-n", "4", "-protocol", proto}
+			if proto != "appl" {
+				args = append(args, "-verify=false")
+			}
+			args = append(args, path)
+			code := run(args, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit = %d\n%s%s", code, out.String(), errb.String())
+			}
+			if !strings.Contains(out.String(), "metrics:") {
+				t.Errorf("output = %q", out.String())
+			}
+		})
+	}
+}
+
+func TestStoreKinds(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	for _, store := range []string{"mem", "incremental", t.TempDir()} {
+		var out, errb strings.Builder
+		code := run([]string{"-n", "4", "-transform", "-store", store, "-fail", "1:8", path}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("store %q: exit = %d\n%s%s", store, code, out.String(), errb.String())
+		}
+		if !strings.Contains(out.String(), "restarts=1") {
+			t.Errorf("store %q: %q", store, out.String())
+		}
+	}
+	// The incremental store reports its footprint.
+	var out, errb strings.Builder
+	if code := run([]string{"-n", "2", "-transform", "-store", "incremental", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "incremental store:") {
+		t.Errorf("no store stats: %q", out.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if code := run([]string{"-protocol", "bogus", writeTemp(t, fig2Src)}, &out, &errb); code != 2 {
+		t.Errorf("bad protocol exit = %d, want 2", code)
+	}
+	if code := run([]string{"-fail", "nonsense", writeTemp(t, fig2Src)}, &out, &errb); code != 2 {
+		t.Errorf("bad failure spec exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,22 @@
+// Package repro is a full reproduction of "Application-Driven
+// Coordination-Free Distributed Checkpointing" (Agbaria & Sanders, ICDCS
+// 2005): an offline, compile-time transformation of SPMD message-passing
+// programs that places checkpoint statements so every straight cut of
+// checkpoints is a recovery line — no coordination messages, no forced
+// checkpoints, no rollback propagation at runtime.
+//
+// The library lives under internal/: the MPL language (mpl), control-flow
+// graphs (cfg), the rank data-flow analysis (dataflow), the attribute
+// solver (attr), the three transformation phases (insert, match, place)
+// orchestrated by core, the concurrent goroutine/channel runtime (sim)
+// with stable storage (storage), traces and happened-before (trace,
+// vclock), recovery-line selection (recovery), the baseline protocols
+// (protocol), and the §4 stochastic analysis (markov, montecarlo).
+//
+// Executables: cmd/chkptc (the offline transformer), cmd/chkptsim (the
+// runtime driver), and cmd/chkptbench (regenerates the paper's figures).
+// Runnable walkthroughs are under examples/.
+//
+// The benchmarks in bench_test.go regenerate every evaluation artifact of
+// the paper; see EXPERIMENTS.md for the paper-vs-measured record.
+package repro

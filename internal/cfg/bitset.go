@@ -1,0 +1,77 @@
+package cfg
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit set used by the graph analyses
+// (dominators, reachability, loop membership).
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits.
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (b Bitset) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Clone copies the bitset.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// IntersectWith keeps only bits present in both sets.
+func (b Bitset) IntersectWith(o Bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// UnionWith adds all bits of o.
+func (b Bitset) UnionWith(o Bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// Equal reports set equality.
+func (b Bitset) Equal(o Bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Members returns the indexes of all set bits in ascending order.
+func (b Bitset) Members() []int {
+	out := make([]int, 0, b.Count())
+	for i, w := range b {
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			out = append(out, i*64+j)
+			w &= w - 1
+		}
+	}
+	return out
+}

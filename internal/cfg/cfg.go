@@ -1,0 +1,406 @@
+// Package cfg builds and analyzes control-flow graphs of MPL programs —
+// the representation the paper's offline analysis operates on (§2). A CFG
+// has an entry and an exit node, branch nodes for loop and condition
+// expressions, and dedicated nodes for the send, receive, bcast, and
+// checkpoint statements that generate the events of the system model.
+// Compute statements (assignments, work) also get nodes so the graph fully
+// reflects program order.
+//
+// The package provides the standard analyses the paper relies on:
+// dominators, backward-edge detection (loops), reachability and path
+// extraction, and enumeration of checkpoint indexes (the C_i of §2).
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/mpl"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindEntry NodeKind = iota + 1
+	KindExit
+	KindBranch  // while or if condition
+	KindCompute // assign or work
+	KindSend
+	KindRecv
+	KindBcast
+	KindReduce
+	KindChkpt
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindEntry:
+		return "entry"
+	case KindExit:
+		return "exit"
+	case KindBranch:
+		return "branch"
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindBcast:
+		return "bcast"
+	case KindReduce:
+		return "reduce"
+	case KindChkpt:
+		return "chkpt"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// EdgeKind classifies control edges.
+type EdgeKind int
+
+// Edge kinds. Branch nodes emit True/False edges; everything else emits Seq.
+const (
+	EdgeSeq EdgeKind = iota + 1
+	EdgeTrue
+	EdgeFalse
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeSeq:
+		return "seq"
+	case EdgeTrue:
+		return "true"
+	case EdgeFalse:
+		return "false"
+	default:
+		return fmt.Sprintf("edge(%d)", int(k))
+	}
+}
+
+// Edge is a directed control edge.
+type Edge struct {
+	From int
+	To   int
+	Kind EdgeKind
+}
+
+// Node is one CFG node.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Stmt  mpl.Stmt // nil for entry/exit
+	Label string
+}
+
+// Graph is a control-flow graph. Nodes are indexed by ID (dense, starting
+// at 0); Entry and Exit name the distinguished nodes.
+type Graph struct {
+	Nodes []*Node
+	Edges []Edge
+	Entry int
+	Exit  int
+
+	succs [][]int // edge indexes by From
+	preds [][]int // edge indexes by To
+}
+
+// Succs returns the edges leaving node id.
+func (g *Graph) Succs(id int) []Edge {
+	out := make([]Edge, len(g.succs[id]))
+	for i, ei := range g.succs[id] {
+		out[i] = g.Edges[ei]
+	}
+	return out
+}
+
+// Preds returns the edges entering node id.
+func (g *Graph) Preds(id int) []Edge {
+	out := make([]Edge, len(g.preds[id]))
+	for i, ei := range g.preds[id] {
+		out[i] = g.Edges[ei]
+	}
+	return out
+}
+
+// NodeByStmtID returns the node for a statement id, or nil.
+func (g *Graph) NodeByStmtID(stmtID int) *Node {
+	for _, n := range g.Nodes {
+		if n.Stmt != nil && n.Stmt.ID() == stmtID {
+			return n
+		}
+	}
+	return nil
+}
+
+// NodesOfKind returns the ids of all nodes with the given kind, in id order.
+func (g *Graph) NodesOfKind(kind NodeKind) []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Kind == kind {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// builder state for Build.
+type builder struct {
+	g *Graph
+}
+
+func (b *builder) newNode(kind NodeKind, stmt mpl.Stmt, label string) int {
+	id := len(b.g.Nodes)
+	b.g.Nodes = append(b.g.Nodes, &Node{ID: id, Kind: kind, Stmt: stmt, Label: label})
+	b.g.succs = append(b.g.succs, nil)
+	b.g.preds = append(b.g.preds, nil)
+	return id
+}
+
+func (b *builder) addEdge(from, to int, kind EdgeKind) {
+	ei := len(b.g.Edges)
+	b.g.Edges = append(b.g.Edges, Edge{From: from, To: to, Kind: kind})
+	b.g.succs[from] = append(b.g.succs[from], ei)
+	b.g.preds[to] = append(b.g.preds[to], ei)
+}
+
+// Build constructs the CFG of a program. Each statement yields exactly one
+// node; while and if statements yield branch nodes whose True edge enters
+// the body/then and whose False edge leaves the loop / enters the else.
+func Build(p *mpl.Program) (*Graph, error) {
+	b := &builder{g: &Graph{}}
+	entry := b.newNode(KindEntry, nil, "ENTRY")
+	b.g.Entry = entry
+	// frontier is the set of (node, edgeKind) pairs awaiting connection to
+	// the next node in sequence.
+	type dangling struct {
+		from int
+		kind EdgeKind
+	}
+	connect := func(frontier []dangling, to int) {
+		for _, d := range frontier {
+			b.addEdge(d.from, to, d.kind)
+		}
+	}
+
+	var buildBody func(body []mpl.Stmt, frontier []dangling) ([]dangling, error)
+	buildBody = func(body []mpl.Stmt, frontier []dangling) ([]dangling, error) {
+		for _, s := range body {
+			var kind NodeKind
+			switch s.(type) {
+			case *mpl.Assign, *mpl.Work:
+				kind = KindCompute
+			case *mpl.Send:
+				kind = KindSend
+			case *mpl.Recv:
+				kind = KindRecv
+			case *mpl.Bcast:
+				kind = KindBcast
+			case *mpl.Reduce:
+				kind = KindReduce
+			case *mpl.Chkpt:
+				kind = KindChkpt
+			case *mpl.While, *mpl.If:
+				kind = KindBranch
+			default:
+				return nil, fmt.Errorf("cfg: unknown statement type %T", s)
+			}
+			id := b.newNode(kind, s, mpl.DescribeStmt(s))
+			connect(frontier, id)
+			switch st := s.(type) {
+			case *mpl.While:
+				bodyEnd, err := buildBody(st.Body, []dangling{{id, EdgeTrue}})
+				if err != nil {
+					return nil, err
+				}
+				// Backward edges to the loop header.
+				connect(bodyEnd, id)
+				frontier = []dangling{{id, EdgeFalse}}
+			case *mpl.If:
+				thenEnd, err := buildBody(st.Then, []dangling{{id, EdgeTrue}})
+				if err != nil {
+					return nil, err
+				}
+				elseEnd, err := buildBody(st.Else, []dangling{{id, EdgeFalse}})
+				if err != nil {
+					return nil, err
+				}
+				frontier = append(thenEnd, elseEnd...)
+			default:
+				frontier = []dangling{{id, EdgeSeq}}
+			}
+		}
+		return frontier, nil
+	}
+
+	frontier, err := buildBody(p.Body, []dangling{{entry, EdgeSeq}})
+	if err != nil {
+		return nil, err
+	}
+	exit := b.newNode(KindExit, nil, "EXIT")
+	b.g.Exit = exit
+	connect(frontier, exit)
+	return b.g, nil
+}
+
+// Dominators computes the immediate-dominator-free dominator sets: dom[v]
+// is the set (as a bitset indexed by node id) of nodes that dominate v. A
+// node a dominates b when every path from entry to b includes a (§2).
+func (g *Graph) Dominators() []Bitset {
+	n := len(g.Nodes)
+	dom := make([]Bitset, n)
+	all := NewBitset(n)
+	for i := 0; i < n; i++ {
+		all.Set(i)
+	}
+	for v := range dom {
+		if v == g.Entry {
+			dom[v] = NewBitset(n)
+			dom[v].Set(g.Entry)
+		} else {
+			dom[v] = all.Clone()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < n; v++ {
+			if v == g.Entry {
+				continue
+			}
+			var meet Bitset
+			first := true
+			for _, e := range g.Preds(v) {
+				if first {
+					meet = dom[e.From].Clone()
+					first = false
+				} else {
+					meet.IntersectWith(dom[e.From])
+				}
+			}
+			if first {
+				// Unreachable node: dominated by everything (vacuous).
+				continue
+			}
+			meet.Set(v)
+			if !meet.Equal(dom[v]) {
+				dom[v] = meet
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+// Dominates reports whether a dominates b under the given dominator sets.
+func Dominates(dom []Bitset, a, b int) bool { return dom[b].Has(a) }
+
+// BackEdges returns the edges ⟨a,b⟩ where b dominates a — the loop edges of
+// the graph (§2's backward edges).
+func (g *Graph) BackEdges() []Edge {
+	dom := g.Dominators()
+	var out []Edge
+	for _, e := range g.Edges {
+		if Dominates(dom, e.To, e.From) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NaturalLoop returns the node set of the natural loop of back edge ⟨a,b⟩:
+// all nodes that can reach a without passing through b, plus b.
+func (g *Graph) NaturalLoop(back Edge) Bitset {
+	loop := NewBitset(len(g.Nodes))
+	loop.Set(back.To)
+	stack := []int{back.From}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if loop.Has(v) {
+			continue
+		}
+		loop.Set(v)
+		for _, e := range g.Preds(v) {
+			stack = append(stack, e.From)
+		}
+	}
+	return loop
+}
+
+// Reachable returns the bitset of nodes reachable from start via control
+// edges (including start itself).
+func (g *Graph) Reachable(start int) Bitset {
+	seen := NewBitset(len(g.Nodes))
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen.Has(v) {
+			continue
+		}
+		seen.Set(v)
+		for _, e := range g.Succs(v) {
+			if !seen.Has(e.To) {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// PathExists reports whether a control path from a to b exists (a path of
+// length zero counts: PathExists(x, x) is true).
+func (g *Graph) PathExists(a, b int) bool {
+	return g.Reachable(a).Has(b)
+}
+
+// FindPath returns one shortest control path from a to b as a node id
+// sequence, or nil when none exists.
+func (g *Graph) FindPath(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	prev := make([]int, len(g.Nodes))
+	for i := range prev {
+		prev[i] = -1
+	}
+	queue := []int{a}
+	seen := NewBitset(len(g.Nodes))
+	seen.Set(a)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Succs(v) {
+			if seen.Has(e.To) {
+				continue
+			}
+			seen.Set(e.To)
+			prev[e.To] = v
+			if e.To == b {
+				var path []int
+				for x := b; x != -1; x = prev[x] {
+					path = append(path, x)
+					if x == a {
+						break
+					}
+				}
+				reverse(path)
+				return path
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil
+}
+
+func reverse(a []int) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}

@@ -1,0 +1,57 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Message edges (from an
+// extended CFG) may be passed to render as dashed edges, matching the
+// paper's Figure 4 presentation.
+func (g *Graph) DOT(name string, messageEdges []Edge) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  node [fontname=\"monospace\"];\n")
+	for _, n := range g.Nodes {
+		shape := "box"
+		switch n.Kind {
+		case KindEntry, KindExit:
+			shape = "oval"
+		case KindBranch:
+			shape = "diamond"
+		case KindChkpt:
+			shape = "doubleoctagon"
+		}
+		label := n.Label
+		if label == "" {
+			label = n.Kind.String()
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q, shape=%s];\n", n.ID, label, shape)
+	}
+	back := make(map[Edge]bool)
+	for _, e := range g.BackEdges() {
+		back[e] = true
+	}
+	for _, e := range g.Edges {
+		attrs := []string{}
+		switch e.Kind {
+		case EdgeTrue:
+			attrs = append(attrs, `label="T"`)
+		case EdgeFalse:
+			attrs = append(attrs, `label="F"`)
+		}
+		if back[e] {
+			attrs = append(attrs, "constraint=false", "color=gray")
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d", e.From, e.To)
+		if len(attrs) > 0 {
+			fmt.Fprintf(&sb, " [%s]", strings.Join(attrs, ", "))
+		}
+		sb.WriteString(";\n")
+	}
+	for _, e := range messageEdges {
+		fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed, color=blue, label=\"msg\"];\n", e.From, e.To)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+// Package core is the public entry point of the library: it runs the
+// paper's three offline phases end to end on an MPL program.
+//
+//	Phase I   (internal/insert):  static checkpoint insertion and path
+//	                              equalization, driven by an optimal-
+//	                              interval model;
+//	Phase II  (internal/match):   send/receive matching → extended CFG Ĝ
+//	                              (Algorithm 3.1);
+//	Phase III (internal/place):   checkpoint movement until every straight
+//	                              cut of checkpoints is a recovery line in
+//	                              any further execution (Algorithm 3.2,
+//	                              Condition 1 / Theorem 3.2).
+//
+// The output program checkpoints with zero runtime coordination: processes
+// execute chkpt statements locally, and the collection of the latest i-th
+// checkpoints of every process — the straight cut R_i — is always a
+// consistent recovery line.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/insert"
+	"repro/internal/match"
+	"repro/internal/mpl"
+	"repro/internal/place"
+)
+
+// Config configures the pipeline. The zero value applies Phase I only when
+// the program has no checkpoints, uses the paper's cost constants, and
+// enables the loop-preservation optimization.
+type Config struct {
+	// CostModel drives Phase I interval selection; the zero value uses
+	// insert.DefaultCostModel.
+	CostModel insert.CostModel
+	// Match configures Phase II (solver bounds, faithful one-to-one mode).
+	Match match.Options
+	// PreserveLoops enables the §3.3 loop optimization (DefaultConfig sets
+	// it).
+	PreserveLoops bool
+	// MaxIterations bounds Phase III's fixpoint (0 = default).
+	MaxIterations int
+	// SkipInsert disables Phase I entirely (the program must already
+	// contain checkpoint statements).
+	SkipInsert bool
+}
+
+// DefaultConfig is the recommended configuration.
+var DefaultConfig = Config{PreserveLoops: true}
+
+func (c Config) costModel() insert.CostModel {
+	if c.CostModel == (insert.CostModel{}) {
+		return insert.DefaultCostModel
+	}
+	return c.CostModel
+}
+
+// Report is the outcome of the full pipeline.
+type Report struct {
+	// Program is the transformed program, safe to execute with
+	// coordination-free checkpointing.
+	Program *mpl.Program
+	// Phase1 is the insertion plan (nil when SkipInsert).
+	Phase1 *insert.Plan
+	// Phase3 is the placement result, including initial violations, moves,
+	// and loop-preserved orderings.
+	Phase3 *place.Result
+	// Enumeration maps checkpoint statement ids to straight-cut indexes in
+	// the final program.
+	Enumeration *cfg.Enumeration
+}
+
+// CheckpointCount returns the number of straight-cut indexes of the final
+// program.
+func (r *Report) CheckpointCount() int {
+	if r.Enumeration == nil {
+		return 0
+	}
+	return r.Enumeration.Count
+}
+
+// Transform runs the three phases on a program. The input is not mutated.
+func Transform(p *mpl.Program, cfg Config) (*Report, error) {
+	if err := mpl.Check(p); err != nil {
+		return nil, fmt.Errorf("core: input program invalid: %w", err)
+	}
+	work := mpl.Clone(p)
+	rep := &Report{}
+
+	if !cfg.SkipInsert {
+		plan, err := insert.InsertCheckpoints(work, cfg.costModel())
+		if err != nil {
+			return nil, fmt.Errorf("core: phase I: %w", err)
+		}
+		rep.Phase1 = plan
+	}
+
+	placed, err := place.Ensure(work, place.Options{
+		Match:         cfg.Match,
+		PreserveLoops: cfg.PreserveLoops,
+		MaxIterations: cfg.MaxIterations,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: phase III: %w", err)
+	}
+	rep.Phase3 = placed
+	rep.Program = placed.Program
+	rep.Enumeration = placed.Enumeration
+	return rep, nil
+}
+
+// TransformSource parses MPL source and transforms it.
+func TransformSource(src string, cfg Config) (*Report, error) {
+	p, err := mpl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Transform(p, cfg)
+}
+
+// Verify checks Condition 1 on a program without transforming it: it
+// returns the violations that would make some straight cut inconsistent.
+// An empty slice means every straight cut of checkpoints is a recovery
+// line in any execution (Theorem 3.2).
+func Verify(p *mpl.Program, cfg Config) ([]place.Violation, error) {
+	violations, _, err := place.Check(p, place.Options{
+		Match:         cfg.Match,
+		PreserveLoops: cfg.PreserveLoops,
+		MaxIterations: cfg.MaxIterations,
+	})
+	return violations, err
+}
+
+// ExtendedDOT renders the extended CFG Ĝ of a program (control flow plus
+// message edges) in Graphviz dot syntax — the paper's Figure 4 view.
+func ExtendedDOT(p *mpl.Program, cfg Config) (string, error) {
+	x, err := match.BuildExtended(p, cfg.Match)
+	if err != nil {
+		return "", err
+	}
+	return x.G.DOT(p.Name, x.MessageEdgesAsCFG()), nil
+}

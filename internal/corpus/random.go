@@ -1,0 +1,125 @@
+package corpus
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/mpl"
+)
+
+// Random generates a deterministic, deadlock-free SPMD program from a
+// seed, for property-based testing of the transformation pipeline and the
+// runtime. Programs are composed from communication motifs that are safe
+// under asynchronous sends and blocking receives for EVERY process count,
+// interleaved with computation and randomly placed checkpoint statements
+// (possibly unsafe placements — that is the point: Phase III must repair
+// them).
+func Random(seed int64) *mpl.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := mpl.NewBuilder("random_" + strconv.FormatInt(seed, 10))
+	b.Vars("a", "c", "tmp", "iter")
+
+	iters := 1 + r.Intn(3)
+	b.Const("ITERS", iters)
+	b.Assign("a", mpl.Add(mpl.Rank(), mpl.Int(1)))
+	b.Assign("iter", mpl.Int(0))
+
+	motifs := 1 + r.Intn(3)
+	b.While(mpl.Lt(mpl.V("iter"), mpl.V("ITERS")), func(b *mpl.Builder) {
+		for m := 0; m < motifs; m++ {
+			emitMotif(b, r)
+		}
+		b.Assign("iter", mpl.Add(mpl.V("iter"), mpl.Int(1)))
+	})
+	if r.Intn(2) == 0 {
+		b.Chkpt()
+		b.Assign("a", mpl.Add(mpl.V("a"), mpl.Int(1)))
+	}
+	return b.MustProgram()
+}
+
+// emitMotif appends one random communication motif, optionally sprinkling
+// checkpoint statements at positions that may break Condition 1.
+func emitMotif(b *mpl.Builder, r *rand.Rand) {
+	maybeChkpt := func(b *mpl.Builder, prob float64) {
+		if r.Float64() < prob {
+			b.Chkpt()
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		// Even/odd paired exchange (the Figure 2 shape): even ranks talk
+		// to their right neighbor; checkpoints may land on either side of
+		// the communication.
+		evenCk := r.Intn(2) == 0
+		oddCk := r.Intn(2) == 0
+		b.IfElse(mpl.Eq(mpl.Mod(mpl.Rank(), mpl.Int(2)), mpl.Int(0)),
+			func(b *mpl.Builder) {
+				if evenCk {
+					b.Chkpt()
+				}
+				b.Send(mpl.Add(mpl.Rank(), mpl.Int(1)), "a")
+				b.Recv(mpl.Add(mpl.Rank(), mpl.Int(1)), "tmp")
+				if !evenCk {
+					b.Chkpt()
+				}
+			},
+			func(b *mpl.Builder) {
+				b.Recv(mpl.Sub(mpl.Rank(), mpl.Int(1)), "tmp")
+				if oddCk {
+					b.Chkpt()
+				}
+				b.Send(mpl.Sub(mpl.Rank(), mpl.Int(1)), "a")
+				if !oddCk {
+					b.Chkpt()
+				}
+			})
+		b.Assign("a", mpl.Add(mpl.V("a"), mpl.V("tmp")))
+	case 1:
+		// Ring shift: everyone sends right, receives from the left.
+		// Asynchronous sends make this deadlock-free.
+		maybeChkpt(b, 0.5)
+		b.Send(mpl.Mod(mpl.Add(mpl.Rank(), mpl.Int(1)), mpl.Nproc()), "a")
+		b.Recv(mpl.Mod(mpl.Sub(mpl.Rank(), mpl.Int(1)), mpl.Nproc()), "tmp")
+		maybeChkpt(b, 0.5)
+		b.Assign("a", mpl.Add(mpl.V("a"), mpl.V("tmp")))
+	case 2:
+		// Broadcast from rank 0 plus local compute.
+		maybeChkpt(b, 0.3)
+		b.Assign("c", mpl.Add(mpl.V("a"), mpl.Int(1)))
+		b.Bcast(mpl.Int(0), "c")
+		maybeChkpt(b, 0.3)
+		b.Assign("a", mpl.Add(mpl.V("a"), mpl.V("c")))
+	case 3:
+		// Allreduce: contribute, reduce to rank 0, broadcast back.
+		maybeChkpt(b, 0.4)
+		b.Assign("c", mpl.V("a"))
+		b.Reduce(mpl.Int(0), "c")
+		b.Bcast(mpl.Int(0), "c")
+		maybeChkpt(b, 0.4)
+		b.Assign("a", mpl.Add(mpl.V("a"), mpl.V("c")))
+	case 4:
+		// Halves pipeline (works for odd process counts too: the last odd
+		// rank sits out).
+		half := mpl.Div(mpl.Nproc(), mpl.Int(2))
+		sendCk := r.Intn(2) == 0
+		b.IfElse(mpl.Lt(mpl.Rank(), half),
+			func(b *mpl.Builder) {
+				if sendCk {
+					b.Chkpt()
+				}
+				b.Send(mpl.Add(mpl.Rank(), half), "a")
+				if !sendCk {
+					b.Chkpt()
+				}
+			},
+			func(b *mpl.Builder) {
+				b.If(mpl.Lt(mpl.Rank(), mpl.Mul(mpl.Int(2), half)), func(b *mpl.Builder) {
+					b.Recv(mpl.Sub(mpl.Rank(), half), "tmp")
+					b.Assign("a", mpl.Add(mpl.V("a"), mpl.V("tmp")))
+				})
+				b.Chkpt()
+			})
+	}
+	b.Work(mpl.Int(1 + r.Intn(3)))
+}

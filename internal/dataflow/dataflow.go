@@ -1,0 +1,313 @@
+// Package dataflow performs the rank data-flow analysis of the paper's
+// §3.2: "we first determine the variables and constants that depend on
+// process IDs, and then use the technique of data flow analysis to
+// determine whether each condition expression is ID-dependent or not."
+//
+// The analysis is a forward abstract interpretation over the structured MPL
+// AST. Each variable's abstract value is either a closed symbolic
+// expression over (rank, nproc) — meaning the variable's concrete value is
+// that expression for every execution — or unknown (⊤). Values received in
+// messages, read from input data, or merged inconsistently at joins are ⊤.
+// From the fixpoint the analysis derives, per communication statement, the
+// resolved destination/source parameter (a closed expression, or the
+// wildcard for the paper's irregular patterns), and per branch statement
+// whether its condition is ID-dependent together with the resolved
+// condition.
+package dataflow
+
+import (
+	"repro/internal/attr"
+	"repro/internal/mpl"
+)
+
+// BranchInfo describes one branch (if/while) statement.
+type BranchInfo struct {
+	// Resolved is the condition as a closed expression over (rank, nproc);
+	// nil when the condition is not statically resolvable.
+	Resolved mpl.Expr
+	// IDDependent reports whether the condition is resolvable and actually
+	// mentions rank — the paper's ID-dependent branches. Only these
+	// contribute path attributes.
+	IDDependent bool
+}
+
+// Result holds the analysis outcome.
+type Result struct {
+	// Params maps send/recv/bcast statement ids to their resolved
+	// destination/source/root parameter.
+	Params map[int]attr.Param
+	// Branches maps if/while statement ids to branch information.
+	Branches map[int]BranchInfo
+}
+
+// maxExprSize bounds substituted expressions; larger results widen to ⊤.
+// Rank arithmetic in real SPMD code is tiny; the bound only guards against
+// pathological self-referential growth inside loops.
+const maxExprSize = 64
+
+// state maps variable names to abstract values; a nil Expr means ⊤. Missing
+// variables are implicitly the literal 0 (MPL variables start at zero).
+type state map[string]mpl.Expr
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v // abstract values are immutable; sharing is fine
+	}
+	return c
+}
+
+// join merges two states in place into s: variables whose abstract values
+// differ become ⊤.
+func (s state) join(o state) {
+	for k, v := range o {
+		cur, ok := s[k]
+		if !ok {
+			s[k] = v
+			continue
+		}
+		if !sameAbstract(cur, v) {
+			s[k] = nil
+		}
+	}
+	for k := range s {
+		if _, ok := o[k]; !ok {
+			// Present in s only; o implicitly has the declaration-time
+			// value. Differ unless equal to the implicit zero.
+			if !sameAbstract(s[k], zeroLit) {
+				s[k] = nil
+			}
+		}
+	}
+}
+
+var zeroLit mpl.Expr = mpl.Int(0)
+
+func sameAbstract(a, b mpl.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return mpl.ExprString(a) == mpl.ExprString(b)
+}
+
+func (s state) equal(o state) bool {
+	if len(s) != len(o) {
+		// Compare semantically: missing == zero literal.
+		for k := range s {
+			if !sameAbstract(s.get(k), o.get(k)) {
+				return false
+			}
+		}
+		for k := range o {
+			if !sameAbstract(s.get(k), o.get(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	for k := range s {
+		if !sameAbstract(s.get(k), o.get(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s state) get(name string) mpl.Expr {
+	if v, ok := s[name]; ok {
+		return v
+	}
+	return zeroLit
+}
+
+// analyzer carries the program context and the accumulated records.
+type analyzer struct {
+	consts map[string]int
+	res    *Result
+}
+
+// Analyze runs the analysis on a program.
+func Analyze(p *mpl.Program) *Result {
+	a := &analyzer{
+		consts: make(map[string]int, len(p.Consts)),
+		res: &Result{
+			Params:   make(map[int]attr.Param),
+			Branches: make(map[int]BranchInfo),
+		},
+	}
+	for _, c := range p.Consts {
+		a.consts[c.Name] = c.Value
+	}
+	init := make(state, len(p.Vars))
+	for _, v := range p.Vars {
+		init[v] = zeroLit
+	}
+	a.body(p.Body, init)
+	return a.res
+}
+
+// exprSize counts expression nodes.
+func exprSize(e mpl.Expr) int {
+	n := 0
+	mpl.WalkExpr(e, func(mpl.Expr) bool { n++; return true })
+	return n
+}
+
+// resolve substitutes variables and constants in e using the state,
+// producing a closed expression over (rank, nproc), or nil when the
+// expression depends on unknown values or input data.
+func (a *analyzer) resolve(e mpl.Expr, s state) mpl.Expr {
+	var sub func(e mpl.Expr) mpl.Expr
+	sub = func(e mpl.Expr) mpl.Expr {
+		switch x := e.(type) {
+		case *mpl.IntLit:
+			return x
+		case *mpl.Ident:
+			switch x.Name {
+			case mpl.BuiltinRank, mpl.BuiltinNproc:
+				return x
+			}
+			if v, ok := a.consts[x.Name]; ok {
+				return mpl.Int(v)
+			}
+			return s.get(x.Name) // nil when ⊤
+		case *mpl.Call:
+			return nil // input(...) is irregular
+		case *mpl.Unary:
+			inner := sub(x.X)
+			if inner == nil {
+				return nil
+			}
+			return &mpl.Unary{Op: x.Op, X: inner}
+		case *mpl.Binary:
+			l := sub(x.L)
+			if l == nil {
+				return nil
+			}
+			r := sub(x.R)
+			if r == nil {
+				return nil
+			}
+			return &mpl.Binary{Op: x.Op, L: l, R: r}
+		default:
+			return nil
+		}
+	}
+	out := sub(e)
+	if out == nil {
+		return nil
+	}
+	// Simplification keeps substituted expressions small (e.g. iteration
+	// counters like 0+1+1 fold to 2), delaying the size widening and
+	// making resolved parameters readable in diagnostics.
+	out = mpl.Simplify(out)
+	if exprSize(out) > maxExprSize {
+		return nil
+	}
+	return out
+}
+
+// recordParam joins a newly observed resolution into the per-statement
+// record: disagreeing resolutions across loop iterations widen to the
+// wildcard.
+func (a *analyzer) recordParam(id int, resolved mpl.Expr) {
+	newParam := attr.WildcardParam
+	if resolved != nil {
+		newParam = attr.ExprParam(resolved)
+	}
+	old, seen := a.res.Params[id]
+	if !seen {
+		a.res.Params[id] = newParam
+		return
+	}
+	if old.Wildcard || newParam.Wildcard || mpl.ExprString(old.Expr) != mpl.ExprString(newParam.Expr) {
+		a.res.Params[id] = attr.WildcardParam
+	}
+}
+
+func (a *analyzer) recordBranch(id int, resolved mpl.Expr) {
+	nb := BranchInfo{Resolved: resolved, IDDependent: resolved != nil && mentionsRank(resolved)}
+	old, seen := a.res.Branches[id]
+	if !seen {
+		a.res.Branches[id] = nb
+		return
+	}
+	if old.Resolved == nil || resolved == nil || mpl.ExprString(old.Resolved) != mpl.ExprString(resolved) {
+		a.res.Branches[id] = BranchInfo{}
+	}
+}
+
+func mentionsRank(e mpl.Expr) bool {
+	found := false
+	mpl.WalkExpr(e, func(x mpl.Expr) bool {
+		if id, ok := x.(*mpl.Ident); ok && id.Name == mpl.BuiltinRank {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// body analyzes a statement list, mutating s to the post-state.
+func (a *analyzer) body(stmts []mpl.Stmt, s state) {
+	for _, st := range stmts {
+		a.stmt(st, s)
+	}
+}
+
+func (a *analyzer) stmt(st mpl.Stmt, s state) {
+	switch n := st.(type) {
+	case *mpl.Assign:
+		s[n.Name] = a.resolve(n.X, s)
+	case *mpl.Work:
+		// No state change.
+	case *mpl.Send:
+		a.recordParam(n.ID(), a.resolve(n.Dest, s))
+	case *mpl.Recv:
+		a.recordParam(n.ID(), a.resolve(n.Src, s))
+		s[n.Var] = nil // received value is unknown
+	case *mpl.Bcast:
+		a.recordParam(n.ID(), a.resolve(n.Root, s))
+		s[n.Var] = nil // root's value is unknown to the analysis
+	case *mpl.Reduce:
+		a.recordParam(n.ID(), a.resolve(n.Root, s))
+		s[n.Var] = nil // the root's sum is unknown; conservatively widen all
+	case *mpl.Chkpt:
+		// No state change.
+	case *mpl.If:
+		a.recordBranch(n.ID(), a.resolve(n.Cond, s))
+		thenState := s.clone()
+		a.body(n.Then, thenState)
+		elseState := s.clone()
+		a.body(n.Else, elseState)
+		// s := join(then, else)
+		for k := range s {
+			delete(s, k)
+		}
+		for k, v := range thenState {
+			s[k] = v
+		}
+		s.join(elseState)
+	case *mpl.While:
+		// Fixpoint: the loop may execute zero or more times.
+		cur := s.clone()
+		for {
+			a.recordBranch(n.ID(), a.resolve(n.Cond, cur))
+			iter := cur.clone()
+			a.body(n.Body, iter)
+			next := cur.clone()
+			next.join(iter)
+			if next.equal(cur) {
+				break
+			}
+			cur = next
+		}
+		for k := range s {
+			delete(s, k)
+		}
+		for k, v := range cur {
+			s[k] = v
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Chain is a finite Markov chain with per-transition costs, used to model
+// Figure 7 generically: states 0..N-1, transition probabilities P[s][t],
+// and expected sojourn/transition costs W[s][t]. Absorbing states have no
+// outgoing probability mass.
+type Chain struct {
+	P [][]float64
+	W [][]float64
+}
+
+// NewChain allocates an n-state chain with zero matrices.
+func NewChain(n int) *Chain {
+	c := &Chain{P: make([][]float64, n), W: make([][]float64, n)}
+	for i := range c.P {
+		c.P[i] = make([]float64, n)
+		c.W[i] = make([]float64, n)
+	}
+	return c
+}
+
+// Validate checks that every row's probability mass is 0 (absorbing) or 1.
+func (c *Chain) Validate() error {
+	for s, row := range c.P {
+		sum := 0.0
+		for t, p := range row {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("markov: P[%d][%d] = %v out of range", s, t, p)
+			}
+			sum += p
+		}
+		if sum != 0 && math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("markov: state %d has probability mass %v (want 0 or 1)", s, sum)
+		}
+	}
+	return nil
+}
+
+// ExpectedCost returns the expected accumulated transition cost from each
+// state until absorption: x = b + Q·x with Q the transient submatrix and
+// b_s = Σ_t P[s][t]·W[s][t], solved by Gaussian elimination on (I−Q)x = b.
+func (c *Chain) ExpectedCost() ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.P)
+	// Build the augmented system (I − P_transient) x = b. Absorbing rows
+	// become x_s = 0.
+	a := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		a[s] = make([]float64, n+1)
+		mass := 0.0
+		for t, p := range c.P[s] {
+			mass += p
+			a[s][n] += p * c.W[s][t]
+		}
+		if mass == 0 {
+			// Absorbing: x_s = 0.
+			a[s][s] = 1
+			a[s][n] = 0
+			continue
+		}
+		for t := 0; t < n; t++ {
+			a[s][t] = -c.P[s][t]
+		}
+		a[s][s] += 1
+	}
+	return solve(a)
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// augmented matrix a (n rows, n+1 columns).
+func solve(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return nil, errors.New("markov: singular system (chain may not be absorbing)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := a[r][n]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * x[k]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// Figure7Chain builds the paper's 3-state chain for one checkpoint
+// interval: state 0 = interval start (checkpoint C_{p,i}), state 1 = the
+// recovery state R_i, state 2 = the next checkpoint (absorbing).
+//
+//	P[0][2] = e^{−λ(T+O)}            W[0][2] = T+O
+//	P[0][1] = 1 − P[0][2]            W[0][1] = E[TTF | failure in [0,T+O)]
+//	P[1][2] = e^{−λ(T+R+L)}          W[1][2] = T+R+L   (≅ T+O+R+L−o, §4)
+//	P[1][1] = 1 − P[1][2]            W[1][1] = E[TTF | failure in [0,T+R+L)]
+//
+// where the conditional mean time-to-failure over [0,D) is
+// 1/λ − D·e^{−λD}/(1−e^{−λD}).
+func Figure7Chain(p Params) (*Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewChain(3)
+	first := p.T + p.O
+	retry := p.T + p.R + p.L
+	c.P[0][2] = math.Exp(-p.Lambda * first)
+	c.P[0][1] = 1 - c.P[0][2]
+	c.W[0][2] = first
+	c.W[0][1] = condMeanTTF(p.Lambda, first)
+	c.P[1][2] = math.Exp(-p.Lambda * retry)
+	c.P[1][1] = 1 - c.P[1][2]
+	c.W[1][2] = retry
+	c.W[1][1] = condMeanTTF(p.Lambda, retry)
+	return c, nil
+}
+
+// condMeanTTF is E[x | x < D] for x ~ Exp(λ): 1/λ − D·e^{−λD}/(1−e^{−λD}).
+func condMeanTTF(lambda, d float64) float64 {
+	ed := math.Exp(-lambda * d)
+	return 1/lambda - d*ed/(1-ed)
+}
+
+// GammaFromChain computes Γ by solving the Figure 7 chain, for
+// cross-checking the closed form.
+func GammaFromChain(p Params) (float64, error) {
+	c, err := Figure7Chain(p)
+	if err != nil {
+		return 0, err
+	}
+	costs, err := c.ExpectedCost()
+	if err != nil {
+		return 0, err
+	}
+	return costs[0], nil
+}

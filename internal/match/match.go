@@ -1,0 +1,230 @@
+// Package match implements Phase II of the paper (§3.2): matching every
+// receive node of a program's CFG with its candidate send node(s) and
+// adding message edges, producing the extended CFG Ĝ (Algorithm 3.1).
+//
+// A send can feed a receive when their path attributes (from ID-dependent
+// branches) and their destination/source parameters present no
+// contradiction — decided exactly by the attr.Solver over bounded process
+// counts. Irregular parameters (the paper's data-dependent patterns) match
+// liberally. Collective statements (bcast) reduce to send/receive pairs at
+// the same node, represented as a self message edge.
+//
+// The matcher follows the paper's DFS one-to-one rule by default: scanning
+// receives in program order, each regular (non-irregular) send is matched
+// at most once, mirroring Algorithm 3.1's "if the corresponding send node
+// has not yet been matched". This order-respecting pairing is what FIFO
+// channels produce at runtime; matching every compatible pair instead
+// (Options.Liberal) creates causally-impossible backward edges between
+// repeated identical patterns (a later send "feeding" an earlier receive),
+// which Phase III can neither satisfy nor repair. As a soundness net for
+// Lemma 3.1, any receive left unmatched after the one-to-one pass is
+// re-matched liberally against all compatible sends.
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/mpl"
+)
+
+// MessageEdge is one matched send→receive pair in the extended CFG. For
+// bcast nodes Send == Recv (the collective is its own correspondent).
+type MessageEdge struct {
+	Send int // CFG node id of the send (or bcast) node
+	Recv int // CFG node id of the recv (or bcast) node
+}
+
+// Extended is the extended CFG Ĝ: the control-flow graph plus message
+// edges and the attribute information used to derive them.
+type Extended struct {
+	G        *cfg.Graph
+	Messages []MessageEdge
+	// PathAttr maps every CFG node id to the attribute (conjunction of
+	// ID-dependent branch constraints) of the control context it executes
+	// under.
+	PathAttr map[int]attr.Predicate
+	// Params maps send/recv/bcast node ids to their resolved parameter.
+	Params map[int]attr.Param
+
+	msgFrom map[int][]int // send node -> recv nodes
+}
+
+// Options configures the matcher.
+type Options struct {
+	// Solver decides attribute satisfiability; the zero value uses
+	// attr.DefaultSolver.
+	Solver attr.Solver
+	// Liberal matches every compatible send/receive pair instead of the
+	// paper's one-to-one DFS rule. Useful for worst-case analyses; see the
+	// package comment for why it is not the default.
+	Liberal bool
+}
+
+func (o Options) solver() attr.Solver {
+	if o.Solver == (attr.Solver{}) {
+		return attr.DefaultSolver
+	}
+	return o.Solver
+}
+
+// BuildExtended runs Phase II on a program: constructs the CFG, analyzes
+// data flow, computes path attributes, and matches sends with receives.
+func BuildExtended(p *mpl.Program, opts Options) (*Extended, error) {
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	df := dataflow.Analyze(p)
+	return Match(p, g, df, opts)
+}
+
+// Match matches sends and receives on an already-built CFG using an
+// existing data-flow result.
+func Match(p *mpl.Program, g *cfg.Graph, df *dataflow.Result, opts Options) (*Extended, error) {
+	x := &Extended{
+		G:        g,
+		PathAttr: make(map[int]attr.Predicate, len(g.Nodes)),
+		Params:   make(map[int]attr.Param),
+		msgFrom:  make(map[int][]int),
+	}
+	// Path attributes from the structured AST: every statement inherits
+	// the ID-dependent branch constraints of its enclosing conditionals.
+	attrs := Attributes(p, df)
+	for _, n := range g.Nodes {
+		if n.Stmt != nil {
+			x.PathAttr[n.ID] = attrs[n.Stmt.ID()]
+		}
+	}
+	// Resolved parameters per node.
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case cfg.KindSend, cfg.KindRecv, cfg.KindBcast, cfg.KindReduce:
+			param, ok := df.Params[n.Stmt.ID()]
+			if !ok {
+				return nil, fmt.Errorf("match: no resolved parameter for %s", n.Label)
+			}
+			x.Params[n.ID] = param
+		}
+	}
+
+	solver := opts.solver()
+	sends := g.NodesOfKind(cfg.KindSend)
+	recvs := g.NodesOfKind(cfg.KindRecv)
+	matchedSends := make(map[int]bool)
+
+	// Algorithm 3.1: scan receives (DFS order ≈ node id order for our
+	// structured builder), and for each, find candidate sends whose
+	// attributes do not contradict. Regular sends match at most once
+	// unless Liberal; irregular endpoints always match freely.
+	for _, r := range recvs {
+		recvPath := x.PathAttr[r]
+		src := x.Params[r]
+		for _, s := range sends {
+			sendPath := x.PathAttr[s]
+			dest := x.Params[s]
+			if !solver.CanMatch(sendPath, dest, recvPath, src) {
+				continue
+			}
+			if !opts.Liberal && !dest.Wildcard && !src.Wildcard {
+				// Regular pair: one-to-one in program order on both sides.
+				if matchedSends[s] {
+					continue
+				}
+				matchedSends[s] = true
+				x.addMessage(s, r)
+				break
+			}
+			// Irregular endpoint (or Liberal): match every compatible pair.
+			matchedSends[s] = true
+			x.addMessage(s, r)
+		}
+	}
+
+	// Soundness fallback (Lemma 3.1 requires every receive to be matched
+	// with at least its true sender): re-match any receive the one-to-one
+	// pass left bare, ignoring the matched-once rule.
+	if !opts.Liberal {
+		matchedRecvs := make(map[int]bool, len(x.Messages))
+		for _, m := range x.Messages {
+			matchedRecvs[m.Recv] = true
+		}
+		for _, r := range recvs {
+			if matchedRecvs[r] {
+				continue
+			}
+			for _, s := range sends {
+				if solver.CanMatch(x.PathAttr[s], x.Params[s], x.PathAttr[r], x.Params[r]) {
+					x.addMessage(s, r)
+				}
+			}
+		}
+	}
+
+	// Collectives: every bcast/reduce node is a matched send/recv pair
+	// with itself (bcast: root → all others; reduce: all others → root —
+	// either way the causality is between processes at the same
+	// statement).
+	for _, b := range g.NodesOfKind(cfg.KindBcast) {
+		x.addMessage(b, b)
+	}
+	for _, r := range g.NodesOfKind(cfg.KindReduce) {
+		x.addMessage(r, r)
+	}
+	return x, nil
+}
+
+func (x *Extended) addMessage(s, r int) {
+	x.Messages = append(x.Messages, MessageEdge{Send: s, Recv: r})
+	x.msgFrom[s] = append(x.msgFrom[s], r)
+}
+
+// MessagesFrom returns the receive nodes matched with send node s.
+func (x *Extended) MessagesFrom(s int) []int {
+	return append([]int(nil), x.msgFrom[s]...)
+}
+
+// MessageEdgesAsCFG converts the message edges to cfg.Edge values for DOT
+// rendering.
+func (x *Extended) MessageEdgesAsCFG() []cfg.Edge {
+	out := make([]cfg.Edge, len(x.Messages))
+	for i, m := range x.Messages {
+		out[i] = cfg.Edge{From: m.Send, To: m.Recv}
+	}
+	return out
+}
+
+// Attributes computes, for every statement id, the path attribute: the
+// conjunction of resolved ID-dependent branch conditions (with polarity)
+// of the conditionals enclosing the statement. Non-ID-dependent branches
+// are ignored, per the paper's simplification ("we ignore all the non
+// ID-dependent branches").
+func Attributes(p *mpl.Program, df *dataflow.Result) map[int]attr.Predicate {
+	out := make(map[int]attr.Predicate, p.StmtCount())
+	var walk func(body []mpl.Stmt, ctx attr.Predicate)
+	walk = func(body []mpl.Stmt, ctx attr.Predicate) {
+		for _, s := range body {
+			out[s.ID()] = ctx
+			switch st := s.(type) {
+			case *mpl.While:
+				inner := ctx
+				if bi := df.Branches[st.ID()]; bi.IDDependent {
+					inner = ctx.And(attr.Constraint{Cond: bi.Resolved, Want: true})
+				}
+				walk(st.Body, inner)
+			case *mpl.If:
+				thenCtx, elseCtx := ctx, ctx
+				if bi := df.Branches[st.ID()]; bi.IDDependent {
+					thenCtx = ctx.And(attr.Constraint{Cond: bi.Resolved, Want: true})
+					elseCtx = ctx.And(attr.Constraint{Cond: bi.Resolved, Want: false})
+				}
+				walk(st.Then, thenCtx)
+				walk(st.Else, elseCtx)
+			}
+		}
+	}
+	walk(p.Body, nil)
+	return out
+}

@@ -1,0 +1,140 @@
+package match
+
+import (
+	"repro/internal/cfg"
+)
+
+// This file implements path search over the extended CFG Ĝ — the engine
+// behind Condition 1 and Algorithm 3.2 (§3.3). A *causal path* between two
+// checkpoint nodes is a path over control and message edges that uses at
+// least one message edge: only such paths can create the happened-before
+// relation between checkpoints of DIFFERENT processes (a pure control path
+// cannot cross process boundaries). Requiring a message edge refines the
+// paper's Condition 1 into an exact test; see DESIGN.md.
+//
+// The search distinguishes paths that traverse a backward control edge
+// from those that do not: the paper's loop-preservation optimization
+// (end of §3.3) applies only when every violating path needs a back edge
+// (Figure 6), so the search prefers back-edge-free witnesses.
+
+// PathStep is one traversed edge in a causal path.
+type PathStep struct {
+	From, To  int
+	IsMessage bool
+	IsBack    bool // backward control edge
+}
+
+// CausalPath is a witness path between two nodes of Ĝ.
+type CausalPath struct {
+	Nodes []int
+	Steps []PathStep
+	// HasBackEdge reports whether the witness traverses a backward control
+	// edge. The search returns a back-edge-free witness whenever one
+	// exists, so HasBackEdge==true means EVERY causal path between the
+	// endpoints needs a back edge.
+	HasBackEdge bool
+}
+
+// searchState is (node, used a message edge).
+type searchState struct {
+	node int
+	msg  bool
+}
+
+// pathNode links BFS discoveries for path reconstruction.
+type pathNode struct {
+	st   searchState
+	prev *pathNode
+	step PathStep
+	used bool // step is valid (false only for the start)
+}
+
+// FindCausalPath returns a causal path (≥1 message edge) from a to b in the
+// extended graph, or nil when none exists. Among existing paths it prefers
+// one without backward control edges, then fewer steps.
+func (x *Extended) FindCausalPath(a, b int) *CausalPath {
+	backSet := make(map[cfg.Edge]bool)
+	for _, e := range x.G.BackEdges() {
+		backSet[e] = true
+	}
+	// Two-pass BFS: first forbid back edges entirely; if that fails, allow
+	// them. This guarantees the back-edge-free preference.
+	for _, allowBack := range []bool{false, true} {
+		if p := x.bfs(a, b, allowBack, backSet); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func (x *Extended) bfs(a, b int, allowBack bool, backSet map[cfg.Edge]bool) *CausalPath {
+	start := &pathNode{st: searchState{node: a}}
+	seen := map[searchState]bool{start.st: true}
+	queue := []*pathNode{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.st.node == b && cur.st.msg {
+			return buildPath(cur)
+		}
+		for _, e := range x.G.Succs(cur.st.node) {
+			isBack := backSet[e]
+			if isBack && !allowBack {
+				continue
+			}
+			next := searchState{node: e.To, msg: cur.st.msg}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			queue = append(queue, &pathNode{
+				st: next, prev: cur, used: true,
+				step: PathStep{From: e.From, To: e.To, IsBack: isBack},
+			})
+		}
+		for _, r := range x.msgFrom[cur.st.node] {
+			next := searchState{node: r, msg: true}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			queue = append(queue, &pathNode{
+				st: next, prev: cur, used: true,
+				step: PathStep{From: cur.st.node, To: r, IsMessage: true},
+			})
+		}
+	}
+	return nil
+}
+
+func buildPath(end *pathNode) *CausalPath {
+	var steps []PathStep
+	for q := end; q != nil && q.used; q = q.prev {
+		steps = append(steps, q.step)
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	p := &CausalPath{Steps: steps}
+	if len(steps) > 0 {
+		p.Nodes = append(p.Nodes, steps[0].From)
+		for _, s := range steps {
+			p.Nodes = append(p.Nodes, s.To)
+			if s.IsBack {
+				p.HasBackEdge = true
+			}
+		}
+	}
+	return p
+}
+
+// ContainsNode reports whether the path visits node id.
+func (p *CausalPath) ContainsNode(id int) bool {
+	for _, n := range p.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+// Package metrics provides the overhead accounting used to compare
+// checkpointing protocols on the runtime: counts of application messages,
+// protocol control messages, checkpoints (voluntary and forced), rollbacks,
+// and blocked time. These are the quantities the paper's §4 analysis folds
+// into the M (message overhead) and C (coordination overhead) parameters.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counters accumulates protocol-relevant event counts for one run. The zero
+// value is ready to use and all methods are safe for concurrent use.
+type Counters struct {
+	mu sync.Mutex
+
+	appMessages     int64
+	ctrlMessages    int64
+	ctrlBytes       int64
+	checkpoints     int64
+	forced          int64
+	rollbacks       int64
+	restartedEvents int64
+	blocked         time.Duration
+	custom          map[string]int64
+}
+
+// IncAppMessages records n application (payload) messages.
+func (c *Counters) IncAppMessages(n int) { c.add(&c.appMessages, n) }
+
+// IncCtrlMessages records n protocol control messages of size bytes each
+// (markers, stop/resume broadcasts, acks — anything the application did not
+// send).
+func (c *Counters) IncCtrlMessages(n, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ctrlMessages += int64(n)
+	c.ctrlBytes += int64(n) * int64(bytes)
+}
+
+// IncCheckpoints records n voluntary checkpoints.
+func (c *Counters) IncCheckpoints(n int) { c.add(&c.checkpoints, n) }
+
+// IncForced records n forced checkpoints (communication-induced protocols).
+func (c *Counters) IncForced(n int) { c.add(&c.forced, n) }
+
+// IncRollbacks records n process rollbacks.
+func (c *Counters) IncRollbacks(n int) { c.add(&c.rollbacks, n) }
+
+// IncRestartedEvents records n re-executed events lost to rollback.
+func (c *Counters) IncRestartedEvents(n int) { c.add(&c.restartedEvents, n) }
+
+// AddBlocked records wall-clock time a process spent blocked on protocol
+// coordination (not on application receives).
+func (c *Counters) AddBlocked(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocked += d
+}
+
+// Inc bumps a named custom counter.
+func (c *Counters) Inc(name string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.custom == nil {
+		c.custom = make(map[string]int64)
+	}
+	c.custom[name] += int64(n)
+}
+
+func (c *Counters) add(field *int64, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	*field += int64(n)
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	AppMessages     int64
+	CtrlMessages    int64
+	CtrlBytes       int64
+	Checkpoints     int64
+	Forced          int64
+	Rollbacks       int64
+	RestartedEvents int64
+	Blocked         time.Duration
+	Custom          map[string]int64
+}
+
+// Snapshot returns a consistent copy of all counters.
+func (c *Counters) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		AppMessages:     c.appMessages,
+		CtrlMessages:    c.ctrlMessages,
+		CtrlBytes:       c.ctrlBytes,
+		Checkpoints:     c.checkpoints,
+		Forced:          c.forced,
+		Rollbacks:       c.rollbacks,
+		RestartedEvents: c.restartedEvents,
+		Blocked:         c.blocked,
+	}
+	if len(c.custom) > 0 {
+		s.Custom = make(map[string]int64, len(c.custom))
+		for k, v := range c.custom {
+			s.Custom[k] = v
+		}
+	}
+	return s
+}
+
+// TotalCheckpoints is voluntary plus forced checkpoints.
+func (s Snapshot) TotalCheckpoints() int64 { return s.Checkpoints + s.Forced }
+
+// String renders the snapshot as a single human-readable line.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "app=%d ctrl=%d ctrlBytes=%d ckpt=%d forced=%d rollbacks=%d replayed=%d blocked=%s",
+		s.AppMessages, s.CtrlMessages, s.CtrlBytes, s.Checkpoints, s.Forced,
+		s.Rollbacks, s.RestartedEvents, s.Blocked)
+	if len(s.Custom) > 0 {
+		keys := make([]string, 0, len(s.Custom))
+		for k := range s.Custom {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%d", k, s.Custom[k])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Counters
+	c.IncAppMessages(1)
+	if got := c.Snapshot().AppMessages; got != 1 {
+		t.Fatalf("AppMessages = %d, want 1", got)
+	}
+}
+
+func TestAllCounters(t *testing.T) {
+	var c Counters
+	c.IncAppMessages(3)
+	c.IncCtrlMessages(5, 9) // 5 messages of 9 bytes
+	c.IncCheckpoints(2)
+	c.IncForced(1)
+	c.IncRollbacks(4)
+	c.IncRestartedEvents(7)
+	c.AddBlocked(2 * time.Second)
+	c.Inc("markers", 6)
+
+	s := c.Snapshot()
+	if s.AppMessages != 3 || s.CtrlMessages != 5 || s.CtrlBytes != 45 ||
+		s.Checkpoints != 2 || s.Forced != 1 || s.Rollbacks != 4 ||
+		s.RestartedEvents != 7 || s.Blocked != 2*time.Second ||
+		s.Custom["markers"] != 6 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.TotalCheckpoints() != 3 {
+		t.Fatalf("TotalCheckpoints = %d, want 3", s.TotalCheckpoints())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var c Counters
+	c.Inc("x", 1)
+	s := c.Snapshot()
+	c.Inc("x", 1)
+	if s.Custom["x"] != 1 {
+		t.Fatal("snapshot not isolated from later increments")
+	}
+	s.Custom["x"] = 99
+	if c.Snapshot().Custom["x"] != 2 {
+		t.Fatal("mutating snapshot leaked into counters")
+	}
+}
+
+func TestStringContainsCustomSorted(t *testing.T) {
+	var c Counters
+	c.Inc("zeta", 1)
+	c.Inc("alpha", 2)
+	out := c.Snapshot().String()
+	ia, iz := strings.Index(out, "alpha=2"), strings.Index(out, "zeta=1")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("String() = %q: custom counters missing or unsorted", out)
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.IncAppMessages(1)
+				c.Inc("k", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.AppMessages != 8000 || s.Custom["k"] != 8000 {
+		t.Fatalf("concurrent counts lost: %+v", s)
+	}
+}

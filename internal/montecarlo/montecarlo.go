@@ -1,0 +1,151 @@
+// Package montecarlo cross-validates the paper's analytic §4 model by
+// direct stochastic simulation in virtual time: checkpoint intervals are
+// attempted against exponentially-distributed failures, failed attempts
+// pay the observed time-to-failure plus a recovery retry, and the sampled
+// mean interval time Γ̂ (and overhead ratio r̂) are compared against the
+// closed forms. This is the "experiment" the paper's evaluation implies
+// but does not run — it gives the figures an empirical backbone.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/markov"
+)
+
+// maxFeasibleHardness bounds λ(T+R+L): beyond it, the expected number of
+// retry attempts per interval (e^{λ(T+R+L)}) makes simulation — and the
+// modeled system — effectively non-terminating.
+const maxFeasibleHardness = 15.0
+
+// Config controls a simulation.
+type Config struct {
+	Params markov.Params
+	Trials int   // number of simulated intervals
+	Seed   int64 // deterministic randomness
+}
+
+// Estimate is a sampled statistic with its standard error.
+type Estimate struct {
+	Mean   float64
+	StdErr float64
+	Trials int
+}
+
+// String renders "mean ± stderr".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.6g ± %.2g (n=%d)", e.Mean, e.StdErr, e.Trials)
+}
+
+// Within reports whether x lies inside k standard errors of the estimate.
+func (e Estimate) Within(x float64, k float64) bool {
+	return math.Abs(x-e.Mean) <= k*e.StdErr
+}
+
+// SimulateGamma samples the expected execution time of one checkpoint
+// interval under the Figure 7 dynamics:
+//
+//   - attempt the interval (duration T+O); an exponential failure inside
+//     it costs the time-to-failure and moves to recovery;
+//   - each recovery retry needs T+R+L failure-free; a failure inside it
+//     costs its time-to-failure and retries.
+func SimulateGamma(cfg Config) (Estimate, error) {
+	p := cfg.Params
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if cfg.Trials <= 0 {
+		return Estimate{}, fmt.Errorf("montecarlo: Trials must be positive, got %d", cfg.Trials)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	first := p.T + p.O
+	retry := p.T + p.R + p.L
+	// An interval completes failure-free with probability e^{-λ·retry}, so
+	// a trial needs ~e^{λ·retry} attempts on average. Past ~15 the real
+	// system would effectively never finish an interval — and neither
+	// would this simulation. Refuse rather than hang.
+	if hardness := p.Lambda * retry; hardness > maxFeasibleHardness {
+		return Estimate{}, fmt.Errorf(
+			"montecarlo: λ(T+R+L) = %.1f means ~e^%.0f retries per interval; regime infeasible to simulate (max %v)",
+			hardness, hardness, maxFeasibleHardness)
+	}
+
+	var sum, sumSq float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		total := 0.0
+		// First attempt.
+		need := first
+		for {
+			ttf := r.ExpFloat64() / p.Lambda
+			if ttf >= need {
+				total += need
+				break
+			}
+			total += ttf
+			need = retry
+		}
+		sum += total
+		sumSq += total * total
+	}
+	mean := sum / float64(cfg.Trials)
+	variance := sumSq/float64(cfg.Trials) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Estimate{
+		Mean:   mean,
+		StdErr: math.Sqrt(variance / float64(cfg.Trials)),
+		Trials: cfg.Trials,
+	}, nil
+}
+
+// SimulateOverheadRatio samples r̂ = Γ̂/T − 1.
+func SimulateOverheadRatio(cfg Config) (Estimate, error) {
+	g, err := SimulateGamma(cfg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		Mean:   g.Mean/cfg.Params.T - 1,
+		StdErr: g.StdErr / cfg.Params.T,
+		Trials: g.Trials,
+	}, nil
+}
+
+// ValidationRow compares analytic and simulated values for one protocol
+// at one scale.
+type ValidationRow struct {
+	Protocol  markov.Protocol
+	N         int
+	Analytic  float64
+	Simulated Estimate
+}
+
+// ValidateFigure8 runs the Monte Carlo counterpart of Figure 8: for each
+// protocol and process count it returns the analytic overhead ratio next
+// to the simulated estimate.
+func ValidateFigure8(b markov.Baseline, ns []int, trials int, seed int64) ([]ValidationRow, error) {
+	protocols := []markov.Protocol{markov.ApplDriven, markov.SaS, markov.ChandyLamport}
+	rows := make([]ValidationRow, 0, len(ns)*len(protocols))
+	for _, n := range ns {
+		for _, proto := range protocols {
+			p := b.ParamsFor(proto, n)
+			analytic, err := markov.OverheadRatio(p)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := SimulateOverheadRatio(Config{
+				Params: p,
+				Trials: trials,
+				Seed:   seed + int64(n)*31 + int64(proto),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ValidationRow{Protocol: proto, N: n, Analytic: analytic, Simulated: sim})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,140 @@
+package montecarlo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func TestSimulateGammaMatchesClosedForm(t *testing.T) {
+	// Use a high failure rate so failures actually occur and the retry
+	// path is exercised; with λ(T+O) ≈ 0.6 most trials hit at least one
+	// failure.
+	p := markov.Params{Lambda: 0.01, T: 50, O: 5, L: 8, R: 3}
+	analytic, err := markov.Gamma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SimulateGamma(Config{Params: p, Trials: 200000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Within(analytic, 4) {
+		t.Errorf("analytic Γ %v outside 4σ of simulation %v", analytic, est)
+	}
+}
+
+func TestSimulateGammaLowFailureRegime(t *testing.T) {
+	// Paper regime: failures are rare, Γ ≈ T+O.
+	p := markov.Params{Lambda: 1.23e-4, T: 300, O: 1.78, L: 4.292, R: 3.32}
+	analytic, err := markov.Gamma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SimulateGamma(Config{Params: p, Trials: 100000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Within(analytic, 4) {
+		t.Errorf("analytic Γ %v outside 4σ of simulation %v", analytic, est)
+	}
+}
+
+func TestSimulateOverheadRatio(t *testing.T) {
+	p := markov.Params{Lambda: 0.005, T: 100, O: 4, L: 6, R: 2}
+	analytic, err := markov.OverheadRatio(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SimulateOverheadRatio(Config{Params: p, Trials: 150000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Within(analytic, 4) {
+		t.Errorf("analytic r %v outside 4σ of simulation %v", analytic, est)
+	}
+}
+
+func TestSimulateDeterministicForSeed(t *testing.T) {
+	cfg := Config{Params: markov.Params{Lambda: 0.01, T: 10, O: 1, L: 1, R: 1}, Trials: 1000, Seed: 42}
+	a, err := SimulateGamma(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateGamma(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.StdErr != b.StdErr {
+		t.Error("same seed gave different estimates")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := SimulateGamma(Config{Params: markov.Params{Lambda: 1, T: 1}, Trials: 0}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := SimulateGamma(Config{Params: markov.Params{}, Trials: 10}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestInfeasibleRegimeRejected(t *testing.T) {
+	// λ(T+R+L) = 31: each interval would need ~e^31 attempts.
+	p := markov.Params{Lambda: 0.1, T: 300, O: 2, L: 4, R: 3}
+	_, err := SimulateGamma(Config{Params: p, Trials: 10, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("err = %v, want infeasible-regime rejection", err)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Mean: 1.5, StdErr: 0.01, Trials: 100}
+	s := e.String()
+	if !strings.Contains(s, "1.5") || !strings.Contains(s, "n=100") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestValidateFigure8AgreesWithAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo sweep skipped in -short")
+	}
+	// Inflate the failure rate so the simulation sees failures at small
+	// trial counts; agreement between chain and sampling is what matters.
+	b := markov.PaperBaseline
+	b.Lambda1 = 1e-4
+	rows, err := ValidateFigure8(b, []int{2, 16, 64}, 60000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		// Either within 5σ or within 0.1% relative (σ can be tiny).
+		rel := math.Abs(row.Analytic-row.Simulated.Mean) /
+			math.Max(math.Abs(row.Analytic), 1e-12)
+		if !row.Simulated.Within(row.Analytic, 5) && rel > 1e-3 {
+			t.Errorf("%v n=%d: analytic %v vs simulated %v",
+				row.Protocol, row.N, row.Analytic, row.Simulated)
+		}
+	}
+}
+
+func BenchmarkSimulateGamma(b *testing.B) {
+	cfg := Config{
+		Params: markov.Params{Lambda: 0.01, T: 50, O: 5, L: 8, R: 3},
+		Trials: 10000,
+		Seed:   1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := SimulateGamma(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

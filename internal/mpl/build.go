@@ -1,0 +1,262 @@
+package mpl
+
+// This file provides the programmatic construction API used by examples,
+// tests, and the transformation phases: expression helpers, a statement
+// Builder, and deep cloning.
+
+// Int returns an integer literal expression.
+func Int(v int) Expr { return &IntLit{Value: v} }
+
+// V returns an identifier expression.
+func V(name string) Expr { return &Ident{Name: name} }
+
+// Rank returns the rank builtin.
+func Rank() Expr { return &Ident{Name: BuiltinRank} }
+
+// Nproc returns the nproc builtin.
+func Nproc() Expr { return &Ident{Name: BuiltinNproc} }
+
+// InputAt returns input(i), an irregular (data-dependent) expression.
+func InputAt(i Expr) Expr { return &Call{Name: BuiltinInput, Args: []Expr{i}} }
+
+// Binary expression helpers.
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return &Binary{Op: "+", L: l, R: r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return &Binary{Op: "-", L: l, R: r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return &Binary{Op: "*", L: l, R: r} }
+
+// Div returns l / r.
+func Div(l, r Expr) Expr { return &Binary{Op: "/", L: l, R: r} }
+
+// Mod returns l % r.
+func Mod(l, r Expr) Expr { return &Binary{Op: "%", L: l, R: r} }
+
+// Eq returns l == r.
+func Eq(l, r Expr) Expr { return &Binary{Op: "==", L: l, R: r} }
+
+// Neq returns l != r.
+func Neq(l, r Expr) Expr { return &Binary{Op: "!=", L: l, R: r} }
+
+// Lt returns l < r.
+func Lt(l, r Expr) Expr { return &Binary{Op: "<", L: l, R: r} }
+
+// Le returns l <= r.
+func Le(l, r Expr) Expr { return &Binary{Op: "<=", L: l, R: r} }
+
+// Gt returns l > r.
+func Gt(l, r Expr) Expr { return &Binary{Op: ">", L: l, R: r} }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) Expr { return &Binary{Op: ">=", L: l, R: r} }
+
+// And returns l && r.
+func And(l, r Expr) Expr { return &Binary{Op: "&&", L: l, R: r} }
+
+// Or returns l || r.
+func Or(l, r Expr) Expr { return &Binary{Op: "||", L: l, R: r} }
+
+// Not returns !x.
+func Not(x Expr) Expr { return &Unary{Op: "!", X: x} }
+
+// Neg returns -x.
+func Neg(x Expr) Expr { return &Unary{Op: "-", X: x} }
+
+// Builder accumulates a program body with automatically assigned statement
+// IDs. Obtain one from NewBuilder, add declarations and statements, and
+// call Program to finish (which also runs Check).
+type Builder struct {
+	prog   *Program
+	nextID int
+	// target is the statement list under construction (nesting pushes).
+	target *[]Stmt
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	b := &Builder{prog: &Program{Name: name}}
+	b.target = &b.prog.Body
+	return b
+}
+
+// Const declares a constant.
+func (b *Builder) Const(name string, value int) *Builder {
+	b.prog.Consts = append(b.prog.Consts, Const{Name: name, Value: value})
+	return b
+}
+
+// Vars declares variables.
+func (b *Builder) Vars(names ...string) *Builder {
+	b.prog.Vars = append(b.prog.Vars, names...)
+	return b
+}
+
+func (b *Builder) base() StmtBase {
+	id := b.nextID
+	b.nextID++
+	return StmtBase{StmtID: id}
+}
+
+func (b *Builder) push(s Stmt) *Builder {
+	*b.target = append(*b.target, s)
+	return b
+}
+
+// Assign appends "name = x".
+func (b *Builder) Assign(name string, x Expr) *Builder {
+	return b.push(&Assign{StmtBase: b.base(), Name: name, X: x})
+}
+
+// Work appends "work(amount)".
+func (b *Builder) Work(amount Expr) *Builder {
+	return b.push(&Work{StmtBase: b.base(), Amount: amount})
+}
+
+// Send appends "send(dest, varName)".
+func (b *Builder) Send(dest Expr, varName string) *Builder {
+	return b.push(&Send{StmtBase: b.base(), Dest: dest, Var: varName})
+}
+
+// Recv appends "recv(src, varName)".
+func (b *Builder) Recv(src Expr, varName string) *Builder {
+	return b.push(&Recv{StmtBase: b.base(), Src: src, Var: varName})
+}
+
+// Bcast appends "bcast(root, varName)".
+func (b *Builder) Bcast(root Expr, varName string) *Builder {
+	return b.push(&Bcast{StmtBase: b.base(), Root: root, Var: varName})
+}
+
+// Reduce appends "reduce(root, varName)".
+func (b *Builder) Reduce(root Expr, varName string) *Builder {
+	return b.push(&Reduce{StmtBase: b.base(), Root: root, Var: varName})
+}
+
+// Chkpt appends a checkpoint statement.
+func (b *Builder) Chkpt() *Builder {
+	return b.push(&Chkpt{StmtBase: b.base()})
+}
+
+// While appends "while cond { ... }", building the body via fn.
+func (b *Builder) While(cond Expr, fn func(*Builder)) *Builder {
+	w := &While{StmtBase: b.base(), Cond: cond}
+	b.nested(&w.Body, fn)
+	return b.push(w)
+}
+
+// If appends "if cond { then }" with no else branch.
+func (b *Builder) If(cond Expr, then func(*Builder)) *Builder {
+	s := &If{StmtBase: b.base(), Cond: cond}
+	b.nested(&s.Then, then)
+	return b.push(s)
+}
+
+// IfElse appends "if cond { then } else { els }".
+func (b *Builder) IfElse(cond Expr, then, els func(*Builder)) *Builder {
+	s := &If{StmtBase: b.base(), Cond: cond}
+	b.nested(&s.Then, then)
+	b.nested(&s.Else, els)
+	return b.push(s)
+}
+
+func (b *Builder) nested(list *[]Stmt, fn func(*Builder)) {
+	saved := b.target
+	b.target = list
+	fn(b)
+	b.target = saved
+}
+
+// Program finishes construction, validates the program, and returns it.
+func (b *Builder) Program() (*Program, error) {
+	if err := Check(b.prog); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustProgram is Program for static program literals in examples and tests;
+// it panics on semantic errors, which there indicate a programming bug.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Clone returns a deep copy of the program. Statement IDs are preserved;
+// expressions are copied so mutations of the clone never alias the
+// original.
+func Clone(p *Program) *Program {
+	cp := &Program{
+		Name:   p.Name,
+		Consts: append([]Const(nil), p.Consts...),
+		Vars:   append([]string(nil), p.Vars...),
+		Body:   cloneBody(p.Body),
+	}
+	return cp
+}
+
+func cloneBody(body []Stmt) []Stmt {
+	if body == nil {
+		return nil
+	}
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *Assign:
+		return &Assign{StmtBase: st.StmtBase, Name: st.Name, X: CloneExpr(st.X)}
+	case *Work:
+		return &Work{StmtBase: st.StmtBase, Amount: CloneExpr(st.Amount)}
+	case *Send:
+		return &Send{StmtBase: st.StmtBase, Dest: CloneExpr(st.Dest), Var: st.Var}
+	case *Recv:
+		return &Recv{StmtBase: st.StmtBase, Src: CloneExpr(st.Src), Var: st.Var}
+	case *Bcast:
+		return &Bcast{StmtBase: st.StmtBase, Root: CloneExpr(st.Root), Var: st.Var}
+	case *Reduce:
+		return &Reduce{StmtBase: st.StmtBase, Root: CloneExpr(st.Root), Var: st.Var}
+	case *Chkpt:
+		return &Chkpt{StmtBase: st.StmtBase}
+	case *While:
+		return &While{StmtBase: st.StmtBase, Cond: CloneExpr(st.Cond), Body: cloneBody(st.Body)}
+	case *If:
+		return &If{StmtBase: st.StmtBase, Cond: CloneExpr(st.Cond), Then: cloneBody(st.Then), Else: cloneBody(st.Else)}
+	default:
+		panic("mpl: cloneStmt: unknown statement type")
+	}
+}
+
+// CloneExpr deep-copies an expression.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		return &IntLit{Value: x.Value}
+	case *Ident:
+		return &Ident{Name: x.Name}
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &Call{Name: x.Name, Args: args}
+	case *Unary:
+		return &Unary{Op: x.Op, X: CloneExpr(x.X)}
+	case *Binary:
+		return &Binary{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	default:
+		panic("mpl: CloneExpr: unknown expression type")
+	}
+}

@@ -1,0 +1,107 @@
+package mpl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CheckError reports a semantic error in a program.
+type CheckError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("mpl: %s: %s", e.Pos, e.Msg)
+}
+
+// Check validates a program's static semantics:
+//   - every referenced identifier is a declared variable, constant, or
+//     builtin;
+//   - the builtins rank/nproc and declared constants are never assigned or
+//     used as message buffers;
+//   - no name is declared twice (across vars, consts, and builtins);
+//   - calls name the input builtin with exactly one argument;
+//   - statement IDs are unique.
+func Check(p *Program) error {
+	declared := map[string]string{
+		BuiltinRank:  "builtin",
+		BuiltinNproc: "builtin",
+	}
+	var errs []error
+	for _, c := range p.Consts {
+		if kind, ok := declared[c.Name]; ok {
+			errs = append(errs, &CheckError{Msg: fmt.Sprintf("constant %q redeclares %s", c.Name, kind)})
+			continue
+		}
+		declared[c.Name] = "constant"
+	}
+	for _, v := range p.Vars {
+		if kind, ok := declared[v]; ok {
+			errs = append(errs, &CheckError{Msg: fmt.Sprintf("variable %q redeclares %s", v, kind)})
+			continue
+		}
+		declared[v] = "variable"
+	}
+
+	checkExpr := func(pos Pos, e Expr) {
+		WalkExpr(e, func(x Expr) bool {
+			switch n := x.(type) {
+			case *Ident:
+				if _, ok := declared[n.Name]; !ok {
+					errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("undeclared identifier %q", n.Name)})
+				}
+			case *Call:
+				if n.Name != BuiltinInput {
+					errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("unknown builtin %q", n.Name)})
+				} else if len(n.Args) != 1 {
+					errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("input takes 1 argument, got %d", len(n.Args))})
+				}
+			}
+			return true
+		})
+	}
+	mustBeVar := func(pos Pos, name, role string) {
+		kind, ok := declared[name]
+		switch {
+		case !ok:
+			errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("undeclared identifier %q", name)})
+		case kind != "variable":
+			errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("%s must be a variable, %q is a %s", role, name, kind)})
+		}
+	}
+
+	seenIDs := make(map[int]bool)
+	Walk(p.Body, func(s Stmt) bool {
+		if seenIDs[s.ID()] {
+			errs = append(errs, &CheckError{Pos: s.Pos(), Msg: fmt.Sprintf("duplicate statement id %d", s.ID())})
+		}
+		seenIDs[s.ID()] = true
+		switch st := s.(type) {
+		case *Assign:
+			mustBeVar(st.Pos(), st.Name, "assignment target")
+			checkExpr(st.Pos(), st.X)
+		case *Work:
+			checkExpr(st.Pos(), st.Amount)
+		case *Send:
+			checkExpr(st.Pos(), st.Dest)
+			mustBeVar(st.Pos(), st.Var, "send buffer")
+		case *Recv:
+			checkExpr(st.Pos(), st.Src)
+			mustBeVar(st.Pos(), st.Var, "receive buffer")
+		case *Bcast:
+			checkExpr(st.Pos(), st.Root)
+			mustBeVar(st.Pos(), st.Var, "broadcast buffer")
+		case *Reduce:
+			checkExpr(st.Pos(), st.Root)
+			mustBeVar(st.Pos(), st.Var, "reduce buffer")
+		case *While:
+			checkExpr(st.Pos(), st.Cond)
+		case *If:
+			checkExpr(st.Pos(), st.Cond)
+		}
+		return true
+	})
+	return errors.Join(errs...)
+}

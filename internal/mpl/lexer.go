@@ -1,0 +1,172 @@
+package mpl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// lexer scans MPL source into tokens. Comments run from '#' to end of line.
+type lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// SyntaxError reports a lexical or parse error with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("mpl: %s: %s", e.Pos, e.Msg)
+}
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.off]
+	l.off++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := Pos{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: TokenEOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.off
+		for l.off < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		text := string(l.src[start:l.off])
+		kind := TokenIdent
+		if keywords[text] {
+			kind = TokenKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	case unicode.IsDigit(r):
+		start := l.off
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: TokenInt, Text: string(l.src[start:l.off]), Pos: pos}, nil
+	}
+
+	two := func(second rune, yes, no TokenKind, yesText, noText string) (Token, error) {
+		l.advance()
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: yes, Text: yesText, Pos: pos}, nil
+		}
+		if no == 0 {
+			return Token{}, l.errorf(pos, "unexpected character %q", string(r))
+		}
+		return Token{Kind: no, Text: noText, Pos: pos}, nil
+	}
+
+	switch r {
+	case '{':
+		l.advance()
+		return Token{Kind: TokenLBrace, Text: "{", Pos: pos}, nil
+	case '}':
+		l.advance()
+		return Token{Kind: TokenRBrace, Text: "}", Pos: pos}, nil
+	case '(':
+		l.advance()
+		return Token{Kind: TokenLParen, Text: "(", Pos: pos}, nil
+	case ')':
+		l.advance()
+		return Token{Kind: TokenRParen, Text: ")", Pos: pos}, nil
+	case ',':
+		l.advance()
+		return Token{Kind: TokenComma, Text: ",", Pos: pos}, nil
+	case '+':
+		l.advance()
+		return Token{Kind: TokenPlus, Text: "+", Pos: pos}, nil
+	case '-':
+		l.advance()
+		return Token{Kind: TokenMinus, Text: "-", Pos: pos}, nil
+	case '*':
+		l.advance()
+		return Token{Kind: TokenStar, Text: "*", Pos: pos}, nil
+	case '/':
+		l.advance()
+		return Token{Kind: TokenSlash, Text: "/", Pos: pos}, nil
+	case '%':
+		l.advance()
+		return Token{Kind: TokenPct, Text: "%", Pos: pos}, nil
+	case '=':
+		return two('=', TokenEq, TokenAssign, "==", "=")
+	case '!':
+		return two('=', TokenNeq, TokenNot, "!=", "!")
+	case '<':
+		return two('=', TokenLe, TokenLt, "<=", "<")
+	case '>':
+		return two('=', TokenGe, TokenGt, ">=", ">")
+	case '&':
+		return two('&', TokenAnd, 0, "&&", "")
+	case '|':
+		return two('|', TokenOr, 0, "||", "")
+	default:
+		return Token{}, l.errorf(pos, "unexpected character %q", string(r))
+	}
+}
+
+// lexAll scans the whole input, returning the token stream ending in EOF.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokenEOF {
+			return toks, nil
+		}
+	}
+}

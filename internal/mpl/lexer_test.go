@@ -1,0 +1,121 @@
+package mpl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := lexAll("x = 42 + rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokenIdent, TokenAssign, TokenInt, TokenPlus, TokenIdent, TokenEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d kind = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "== != < <= > >= && || ! % * / ( ) { } ,"
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokenEq, TokenNeq, TokenLt, TokenLe, TokenGt, TokenGe,
+		TokenAnd, TokenOr, TokenNot, TokenPct, TokenStar, TokenSlash,
+		TokenLParen, TokenRParen, TokenLBrace, TokenRBrace, TokenComma, TokenEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v (%q), want kind %v", i, got[i], toks[i].Text, want[i])
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := lexAll("while whileX send sendto chkpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []TokenKind{TokenKeyword, TokenIdent, TokenKeyword, TokenIdent, TokenKeyword, TokenEOF}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d (%q) kind = %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexAll("x # this is a comment\ny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("comment not skipped: %v", toks)
+	}
+	if toks[1].Pos.Line != 2 {
+		t.Errorf("line tracking across comments wrong: %v", toks[1].Pos)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"$", "a & b", "a | b", "x @ y"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) succeeded, want error", src)
+		} else if !strings.Contains(err.Error(), "mpl:") {
+			t.Errorf("error %q lacks package prefix", err)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := lexAll("ok\n   $")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var se *SyntaxError
+	if !asSyntaxError(err, &se) {
+		t.Fatalf("error type = %T, want *SyntaxError", err)
+	}
+	if se.Pos != (Pos{Line: 2, Col: 4}) {
+		t.Errorf("error position = %v, want 2:4", se.Pos)
+	}
+}
+
+func asSyntaxError(err error, target **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*target = se
+	}
+	return ok
+}

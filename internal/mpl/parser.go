@@ -1,0 +1,451 @@
+package mpl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses MPL source into a checked Program. Statement IDs are
+// assigned in source order starting at 0.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks   []Token
+	pos    int
+	nextID int
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind TokenKind, what string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind {
+		return Token{}, p.errorf("expected %s, found %s", what, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if t.Kind != TokenKeyword || t.Text != kw {
+		return p.errorf("expected %q, found %s", kw, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokenKeyword && t.Text == kw
+}
+
+func (p *parser) newBase(pos Pos) StmtBase {
+	id := p.nextID
+	p.nextID++
+	return StmtBase{StmtID: id, SrcPos: pos}
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	if err := p.expectKeyword("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokenIdent, "program name")
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name.Text}
+
+	for {
+		switch {
+		case p.atKeyword("const"):
+			p.advance()
+			id, err := p.expect(TokenIdent, "constant name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenAssign, `"="`); err != nil {
+				return nil, err
+			}
+			neg := false
+			if p.cur().Kind == TokenMinus {
+				neg = true
+				p.advance()
+			}
+			lit, err := p.expect(TokenInt, "integer literal")
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.Atoi(lit.Text)
+			if err != nil {
+				return nil, p.errorf("bad integer %q", lit.Text)
+			}
+			if neg {
+				v = -v
+			}
+			prog.Consts = append(prog.Consts, Const{Name: id.Text, Value: v})
+		case p.atKeyword("var"):
+			p.advance()
+			for {
+				id, err := p.expect(TokenIdent, "variable name")
+				if err != nil {
+					return nil, err
+				}
+				prog.Vars = append(prog.Vars, id.Text)
+				if p.cur().Kind != TokenComma {
+					break
+				}
+				p.advance()
+			}
+		case p.atKeyword("proc"):
+			p.advance()
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.Body = body
+			if _, err := p.expect(TokenEOF, "end of input"); err != nil {
+				return nil, err
+			}
+			return prog, nil
+		default:
+			return nil, p.errorf("expected declaration or proc block, found %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokenLBrace, `"{"`); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.cur().Kind != TokenRBrace {
+		if p.cur().Kind == TokenEOF {
+			return nil, p.errorf(`unexpected end of input, expected "}"`)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance() // consume }
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokenIdent:
+		// assignment
+		base := p.newBase(t.Pos)
+		p.advance()
+		if _, err := p.expect(TokenAssign, `"=" (assignment)`); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{StmtBase: base, Name: t.Text, X: x}, nil
+	case p.atKeyword("chkpt"):
+		base := p.newBase(t.Pos)
+		p.advance()
+		return &Chkpt{StmtBase: base}, nil
+	case p.atKeyword("send"), p.atKeyword("recv"), p.atKeyword("bcast"), p.atKeyword("reduce"):
+		kw := t.Text
+		base := p.newBase(t.Pos)
+		p.advance()
+		if _, err := p.expect(TokenLParen, `"("`); err != nil {
+			return nil, err
+		}
+		peer, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenComma, `","`); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(TokenIdent, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen, `")"`); err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "send":
+			return &Send{StmtBase: base, Dest: peer, Var: v.Text}, nil
+		case "recv":
+			return &Recv{StmtBase: base, Src: peer, Var: v.Text}, nil
+		case "bcast":
+			return &Bcast{StmtBase: base, Root: peer, Var: v.Text}, nil
+		default:
+			return &Reduce{StmtBase: base, Root: peer, Var: v.Text}, nil
+		}
+	case p.atKeyword("work"):
+		base := p.newBase(t.Pos)
+		p.advance()
+		if _, err := p.expect(TokenLParen, `"("`); err != nil {
+			return nil, err
+		}
+		amt, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return &Work{StmtBase: base, Amount: amt}, nil
+	case p.atKeyword("while"):
+		base := p.newBase(t.Pos)
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &While{StmtBase: base, Cond: cond, Body: body}, nil
+	case p.atKeyword("if"):
+		base := p.newBase(t.Pos)
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.atKeyword("else") {
+			p.advance()
+			if p.atKeyword("if") {
+				// else-if chains: parse the nested if as the sole else stmt.
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &If{StmtBase: base, Cond: cond, Then: then, Else: els}, nil
+	default:
+		return nil, p.errorf("expected statement, found %s", t)
+	}
+}
+
+// Expression grammar (precedence climbing, lowest first):
+//
+//	or:    and ("||" and)*
+//	and:   cmp ("&&" cmp)*
+//	cmp:   add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//	add:   mul (("+"|"-") mul)*
+//	mul:   unary (("*"|"/"|"%") unary)*
+//	unary: ("-"|"!") unary | primary
+//	primary: INT | IDENT | IDENT "(" args ")" | "(" expr ")"
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokenOr {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokenAnd {
+		p.advance()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[TokenKind]string{
+	TokenEq:  "==",
+	TokenNeq: "!=",
+	TokenLt:  "<",
+	TokenLe:  "<=",
+	TokenGt:  ">",
+	TokenGe:  ">=",
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		p.advance()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokenPlus:
+			op = "+"
+		case TokenMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokenStar:
+			op = "*"
+		case TokenSlash:
+			op = "/"
+		case TokenPct:
+			op = "%"
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokenMinus:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	case TokenNot:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x}, nil
+	default:
+		return p.parsePrimary()
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokenInt:
+		p.advance()
+		v, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.Text)
+		}
+		return &IntLit{Value: v}, nil
+	case TokenIdent:
+		p.advance()
+		if p.cur().Kind == TokenLParen {
+			p.advance()
+			var args []Expr
+			if p.cur().Kind != TokenRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.cur().Kind != TokenComma {
+						break
+					}
+					p.advance()
+				}
+			}
+			if _, err := p.expect(TokenRParen, `")"`); err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.Text, Args: args}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	case TokenLParen:
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", t)
+	}
+}

@@ -1,0 +1,320 @@
+package mpl
+
+import (
+	"strings"
+	"testing"
+)
+
+const jacobiSrc = `
+program jacobi
+
+const MAXITER = 4
+
+var x, y, iter
+
+proc {
+    iter = 0
+    while iter < MAXITER {
+        chkpt
+        send(rank + 1, x)
+        recv(rank - 1, y)
+        x = x + y
+        iter = iter + 1
+    }
+}
+`
+
+func TestParseJacobi(t *testing.T) {
+	p, err := Parse(jacobiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "jacobi" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	if v, ok := p.ConstValue("MAXITER"); !ok || v != 4 {
+		t.Errorf("MAXITER = %d, %v", v, ok)
+	}
+	if len(p.Vars) != 3 {
+		t.Errorf("Vars = %v", p.Vars)
+	}
+	if len(p.Body) != 2 {
+		t.Fatalf("Body len = %d, want 2", len(p.Body))
+	}
+	w, ok := p.Body[1].(*While)
+	if !ok {
+		t.Fatalf("Body[1] = %T, want *While", p.Body[1])
+	}
+	if len(w.Body) != 5 {
+		t.Fatalf("loop body len = %d, want 5", len(w.Body))
+	}
+	if _, ok := w.Body[0].(*Chkpt); !ok {
+		t.Errorf("loop body[0] = %T, want *Chkpt", w.Body[0])
+	}
+	if s, ok := w.Body[1].(*Send); !ok || ExprString(s.Dest) != "rank + 1" || s.Var != "x" {
+		t.Errorf("loop body[1] wrong: %+v", w.Body[1])
+	}
+}
+
+func TestParseAssignsUniqueIDs(t *testing.T) {
+	p, err := Parse(jacobiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	Walk(p.Body, func(s Stmt) bool {
+		if seen[s.ID()] {
+			t.Errorf("duplicate id %d", s.ID())
+		}
+		seen[s.ID()] = true
+		return true
+	})
+	if len(seen) != p.StmtCount() {
+		t.Errorf("StmtCount = %d, distinct ids = %d", p.StmtCount(), len(seen))
+	}
+	if p.MaxStmtID() != p.StmtCount()-1 {
+		t.Errorf("MaxStmtID = %d, want %d", p.MaxStmtID(), p.StmtCount()-1)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	src := `
+program evenodd
+var x
+proc {
+    if rank % 2 == 0 {
+        send(rank + 1, x)
+    } else {
+        recv(rank - 1, x)
+    }
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs, ok := p.Body[0].(*If)
+	if !ok {
+		t.Fatalf("Body[0] = %T", p.Body[0])
+	}
+	if ExprString(ifs.Cond) != "rank % 2 == 0" {
+		t.Errorf("Cond = %q", ExprString(ifs.Cond))
+	}
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Errorf("then/else lens = %d/%d", len(ifs.Then), len(ifs.Else))
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `
+program chain
+var x
+proc {
+    if rank == 0 {
+        x = 1
+    } else if rank == 1 {
+        x = 2
+    } else {
+        x = 3
+    }
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := p.Body[0].(*If)
+	if len(outer.Else) != 1 {
+		t.Fatalf("outer else len = %d", len(outer.Else))
+	}
+	inner, ok := outer.Else[0].(*If)
+	if !ok {
+		t.Fatalf("else-if not nested: %T", outer.Else[0])
+	}
+	if len(inner.Else) != 1 {
+		t.Errorf("inner else missing")
+	}
+}
+
+func TestParseBcastAndWork(t *testing.T) {
+	src := `
+program coll
+var v
+proc {
+    work(100)
+    bcast(0, v)
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Body[0].(*Work); !ok {
+		t.Errorf("Body[0] = %T, want *Work", p.Body[0])
+	}
+	bc, ok := p.Body[1].(*Bcast)
+	if !ok || ExprString(bc.Root) != "0" || bc.Var != "v" {
+		t.Errorf("Body[1] = %+v", p.Body[1])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tests := []struct {
+		expr string
+		want string
+	}{
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"rank % 2 == 0 && rank < nproc", "rank % 2 == 0 && rank < nproc"},
+		{"a || b && c", "a || b && c"},
+		{"(a || b) && c", "(a || b) && c"},
+		{"!a && b", "!a && b"},
+		{"-(a + b)", "-(a + b)"},
+		{"1 - 2 - 3", "1 - 2 - 3"},
+		{"1 - (2 - 3)", "1 - (2 - 3)"},
+		{"input(rank + 1) % 4", "input(rank + 1) % 4"},
+	}
+	for _, tt := range tests {
+		src := "program t\nvar a, b, c, x\nproc { x = " + tt.expr + " }"
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", tt.expr, err)
+			continue
+		}
+		got := ExprString(p.Body[0].(*Assign).X)
+		if got != tt.want {
+			t.Errorf("expr %q round-tripped to %q, want %q", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"missing program", "var x\nproc {}", `expected "program"`},
+		{"missing proc", "program p\nvar x", "expected declaration or proc"},
+		{"unclosed block", "program p\nproc { x = 1", "unexpected end of input"},
+		{"bad stmt", "program p\nproc { 42 }", "expected statement"},
+		{"missing paren", "program p\nvar x\nproc { send(1 x) }", `expected ","`},
+		{"trailing junk", "program p\nproc {} extra", "expected end of input"},
+		{"missing cond", "program p\nproc { while { } }", "expected expression"},
+		{"send needs var", "program p\nproc { send(0, 1) }", "variable name"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %q, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared var", "program p\nproc { x = 1 }", "undeclared identifier"},
+		{"undeclared in expr", "program p\nvar x\nproc { x = y + 1 }", `undeclared identifier "y"`},
+		{"assign to rank", "program p\nproc { rank = 1 }", "must be a variable"},
+		{"assign to const", "program p\nconst K = 1\nproc { K = 2 }", "must be a variable"},
+		{"send const buffer", "program p\nconst K = 1\nvar x\nproc { send(0, K) }", "must be a variable"},
+		{"redeclare builtin", "program p\nvar rank\nproc { }", "redeclares builtin"},
+		{"redeclare const", "program p\nconst K = 1\nvar K\nproc { }", "redeclares constant"},
+		{"bad builtin", "program p\nvar x\nproc { x = foo(1) }", `unknown builtin "foo"`},
+		{"input arity", "program p\nvar x\nproc { x = input(1, 2) }", "input takes 1 argument"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %q, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{jacobiSrc, `
+program evenodd
+
+const K = -2
+
+var x, y
+
+proc {
+    if rank % 2 == 0 {
+        chkpt
+        send(rank + 1, x)
+        recv(rank + 1, y)
+    } else {
+        recv(rank - 1, y)
+        send(rank - 1, x)
+        chkpt
+    }
+    work(x * K)
+    bcast(0, x)
+}
+`}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out1 := Format(p1)
+		p2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\n%s", err, out1)
+		}
+		out2 := Format(p2)
+		if out1 != out2 {
+			t.Errorf("format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p, err := Parse(jacobiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Clone(p)
+	// Mutate the clone's loop condition.
+	c.Body[1].(*While).Cond = Int(0)
+	if ExprString(p.Body[1].(*While).Cond) != "iter < MAXITER" {
+		t.Error("clone aliased original condition")
+	}
+	// IDs must be preserved.
+	if c.Body[0].ID() != p.Body[0].ID() {
+		t.Error("clone changed statement ids")
+	}
+	if Format(Clone(p)) != Format(p) {
+		t.Error("clone not structurally identical")
+	}
+}
+
+func TestFindStmt(t *testing.T) {
+	p, err := Parse(jacobiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Body[1].(*While)
+	got := p.FindStmt(w.Body[0].ID())
+	if got == nil || got.ID() != w.Body[0].ID() {
+		t.Errorf("FindStmt failed: %v", got)
+	}
+	if p.FindStmt(9999) != nil {
+		t.Error("FindStmt(9999) should be nil")
+	}
+}

@@ -1,0 +1,176 @@
+package mpl
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Format renders a program back to MPL source. Parsing the output yields a
+// structurally identical program (statement IDs are reassigned in source
+// order). The checkpoint placement phase uses Format to emit the
+// transformed program.
+func Format(p *Program) string {
+	var sb strings.Builder
+	sb.WriteString("program ")
+	sb.WriteString(p.Name)
+	sb.WriteString("\n")
+	if len(p.Consts) > 0 {
+		sb.WriteString("\n")
+		for _, c := range p.Consts {
+			sb.WriteString("const ")
+			sb.WriteString(c.Name)
+			sb.WriteString(" = ")
+			sb.WriteString(strconv.Itoa(c.Value))
+			sb.WriteString("\n")
+		}
+	}
+	if len(p.Vars) > 0 {
+		sb.WriteString("\nvar ")
+		sb.WriteString(strings.Join(p.Vars, ", "))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\nproc {\n")
+	formatBody(&sb, p.Body, 1)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("    ")
+	}
+}
+
+func formatBody(sb *strings.Builder, body []Stmt, depth int) {
+	for _, s := range body {
+		formatStmt(sb, s, depth)
+	}
+}
+
+func formatStmt(sb *strings.Builder, s Stmt, depth int) {
+	indent(sb, depth)
+	switch st := s.(type) {
+	case *Assign:
+		sb.WriteString(st.Name)
+		sb.WriteString(" = ")
+		sb.WriteString(ExprString(st.X))
+		sb.WriteString("\n")
+	case *Work:
+		sb.WriteString("work(")
+		sb.WriteString(ExprString(st.Amount))
+		sb.WriteString(")\n")
+	case *Send:
+		sb.WriteString("send(")
+		sb.WriteString(ExprString(st.Dest))
+		sb.WriteString(", ")
+		sb.WriteString(st.Var)
+		sb.WriteString(")\n")
+	case *Recv:
+		sb.WriteString("recv(")
+		sb.WriteString(ExprString(st.Src))
+		sb.WriteString(", ")
+		sb.WriteString(st.Var)
+		sb.WriteString(")\n")
+	case *Bcast:
+		sb.WriteString("bcast(")
+		sb.WriteString(ExprString(st.Root))
+		sb.WriteString(", ")
+		sb.WriteString(st.Var)
+		sb.WriteString(")\n")
+	case *Reduce:
+		sb.WriteString("reduce(")
+		sb.WriteString(ExprString(st.Root))
+		sb.WriteString(", ")
+		sb.WriteString(st.Var)
+		sb.WriteString(")\n")
+	case *Chkpt:
+		sb.WriteString("chkpt\n")
+	case *While:
+		sb.WriteString("while ")
+		sb.WriteString(ExprString(st.Cond))
+		sb.WriteString(" {\n")
+		formatBody(sb, st.Body, depth+1)
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *If:
+		sb.WriteString("if ")
+		sb.WriteString(ExprString(st.Cond))
+		sb.WriteString(" {\n")
+		formatBody(sb, st.Then, depth+1)
+		indent(sb, depth)
+		if len(st.Else) > 0 {
+			sb.WriteString("} else {\n")
+			formatBody(sb, st.Else, depth+1)
+			indent(sb, depth)
+		}
+		sb.WriteString("}\n")
+	}
+}
+
+// precedence levels for minimal parenthesization.
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "||":
+			return 1
+		case "&&":
+			return 2
+		case "==", "!=", "<", "<=", ">", ">=":
+			return 3
+		case "+", "-":
+			return 4
+		default: // * / %
+			return 5
+		}
+	case *Unary:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// ExprString renders an expression with minimal parentheses.
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr, parentPrec int) {
+	prec := exprPrec(e)
+	needParens := prec < parentPrec
+	if needParens {
+		sb.WriteByte('(')
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		sb.WriteString(strconv.Itoa(x.Value))
+	case *Ident:
+		sb.WriteString(x.Name)
+	case *Call:
+		sb.WriteString(x.Name)
+		sb.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a, 0)
+		}
+		sb.WriteByte(')')
+	case *Unary:
+		sb.WriteString(x.Op)
+		writeExpr(sb, x.X, prec)
+	case *Binary:
+		// Left associative: the right child needs strictly higher precedence
+		// to avoid parens.
+		writeExpr(sb, x.L, prec)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op)
+		sb.WriteByte(' ')
+		writeExpr(sb, x.R, prec+1)
+	}
+	if needParens {
+		sb.WriteByte(')')
+	}
+}

@@ -1,0 +1,151 @@
+package mpl
+
+// Simplify performs conservative algebraic simplification on an
+// expression: constant folding and identity elimination. It never changes
+// the expression's value for ANY environment — including error behavior
+// (division by zero is never folded away, and subexpressions with side
+// conditions are preserved). The data-flow analysis uses it to keep
+// resolved rank expressions small, and the printer benefits from tidier
+// output.
+func Simplify(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit, *Ident:
+		return e
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Simplify(a)
+		}
+		return &Call{Name: x.Name, Args: args}
+	case *Unary:
+		inner := Simplify(x.X)
+		if lit, ok := inner.(*IntLit); ok {
+			switch x.Op {
+			case "-":
+				return &IntLit{Value: -lit.Value}
+			case "!":
+				if lit.Value == 0 {
+					return &IntLit{Value: 1}
+				}
+				return &IntLit{Value: 0}
+			}
+		}
+		// --x = x
+		if x.Op == "-" {
+			if u, ok := inner.(*Unary); ok && u.Op == "-" {
+				return u.X
+			}
+		}
+		return &Unary{Op: x.Op, X: inner}
+	case *Binary:
+		l := Simplify(x.L)
+		r := Simplify(x.R)
+		ll, lOK := l.(*IntLit)
+		rl, rOK := r.(*IntLit)
+
+		// Full constant folding (except when it would hide a division by
+		// zero — that error must survive to runtime).
+		if lOK && rOK {
+			if v, ok := foldBinary(x.Op, ll.Value, rl.Value); ok {
+				return &IntLit{Value: v}
+			}
+			return &Binary{Op: x.Op, L: l, R: r}
+		}
+
+		// Identity eliminations that are safe for all values of the
+		// non-constant side. Additive/multiplicative identities only:
+		// x*0 is NOT folded (x could still fail to evaluate? No —
+		// expressions are total except division; x*0 where x contains a
+		// division could error. Keep x*0 unfolded for error preservation.)
+		switch x.Op {
+		case "+":
+			if lOK && ll.Value == 0 {
+				return r
+			}
+			if rOK && rl.Value == 0 {
+				return l
+			}
+		case "-":
+			if rOK && rl.Value == 0 {
+				return l
+			}
+		case "*":
+			if lOK && ll.Value == 1 {
+				return r
+			}
+			if rOK && rl.Value == 1 {
+				return l
+			}
+		case "/":
+			if rOK && rl.Value == 1 {
+				return l
+			}
+		case "&&":
+			// true && x = (x != 0) — not representable without changing
+			// the 0/1 normalization of x; only fold the short-circuit
+			// side: 0 && x = 0 (x never evaluated at runtime either).
+			if lOK && ll.Value == 0 {
+				return &IntLit{Value: 0}
+			}
+		case "||":
+			if lOK && ll.Value != 0 {
+				return &IntLit{Value: 1}
+			}
+		}
+		return &Binary{Op: x.Op, L: l, R: r}
+	default:
+		return e
+	}
+}
+
+// foldBinary evaluates a constant binary operation; ok=false when folding
+// must not happen (division/modulo by zero must fail at runtime, not
+// vanish at analysis time).
+func foldBinary(op string, l, r int) (int, bool) {
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case "%":
+		if r == 0 {
+			return 0, false
+		}
+		m := l % r
+		if m < 0 {
+			if r > 0 {
+				m += r
+			} else {
+				m -= r
+			}
+		}
+		return m, true
+	case "==":
+		return boolInt(l == r), true
+	case "!=":
+		return boolInt(l != r), true
+	case "<":
+		return boolInt(l < r), true
+	case "<=":
+		return boolInt(l <= r), true
+	case ">":
+		return boolInt(l > r), true
+	case ">=":
+		return boolInt(l >= r), true
+	case "&&":
+		return boolInt(l != 0 && r != 0), true
+	case "||":
+		return boolInt(l != 0 || r != 0), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,149 @@
+// Package netestim estimates network message delay from observed round-trip
+// times. The paper's Phase I (§3.1) uses such an estimate — citing Karn &
+// Partridge [12] and RTT-measurement studies [5] — to account for
+// message-passing cost when choosing the optimal checkpoint interval of a
+// message-passing (rather than serial) program.
+//
+// The estimator is the classic Jacobson/Karels smoothed-RTT algorithm used
+// by TCP, with Karn's rule (samples from retransmitted exchanges are
+// discarded): srtt ← (1-α)·srtt + α·sample, rttvar ← (1-β)·rttvar +
+// β·|sample-srtt|, with α=1/8 and β=1/4.
+package netestim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Default smoothing gains, per RFC 6298.
+const (
+	defaultAlpha = 1.0 / 8.0
+	defaultBeta  = 1.0 / 4.0
+)
+
+// Estimator tracks a smoothed round-trip time and its variance. The zero
+// value is ready to use with the default gains.
+type Estimator struct {
+	mu      sync.Mutex
+	alpha   float64
+	beta    float64
+	srtt    time.Duration
+	rttvar  time.Duration
+	samples int
+}
+
+// NewEstimator returns an estimator with custom gains. Gains outside (0,1]
+// are an input error.
+func NewEstimator(alpha, beta float64) (*Estimator, error) {
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		return nil, fmt.Errorf("netestim: gains must be in (0,1], got alpha=%v beta=%v", alpha, beta)
+	}
+	return &Estimator{alpha: alpha, beta: beta}, nil
+}
+
+// ErrNoSamples is returned by estimate accessors before any sample arrives.
+var ErrNoSamples = errors.New("netestim: no samples observed yet")
+
+// Observe feeds one RTT sample. Following Karn's rule, callers must not
+// feed samples from ambiguous (retransmitted) exchanges; ObserveAmbiguous
+// exists to document such discards. Non-positive samples are ignored: a
+// zero RTT is always a measurement artifact.
+func (e *Estimator) Observe(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	alpha, beta := e.alpha, e.beta
+	if alpha == 0 {
+		alpha, beta = defaultAlpha, defaultBeta
+	}
+	if e.samples == 0 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+	} else {
+		dev := e.srtt - sample
+		if dev < 0 {
+			dev = -dev
+		}
+		e.rttvar = time.Duration((1-beta)*float64(e.rttvar) + beta*float64(dev))
+		e.srtt = time.Duration((1-alpha)*float64(e.srtt) + alpha*float64(sample))
+	}
+	e.samples++
+}
+
+// ObserveAmbiguous records that a sample was discarded under Karn's rule.
+// It never changes the estimate.
+func (e *Estimator) ObserveAmbiguous() {
+	// Intentionally empty: the method exists so call sites show the
+	// discard decision explicitly.
+}
+
+// RTT returns the smoothed round-trip estimate.
+func (e *Estimator) RTT() (time.Duration, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.samples == 0 {
+		return 0, ErrNoSamples
+	}
+	return e.srtt, nil
+}
+
+// OneWayDelay returns the estimated one-way message delay (RTT/2), the
+// quantity Phase I's interval model consumes.
+func (e *Estimator) OneWayDelay() (time.Duration, error) {
+	rtt, err := e.RTT()
+	if err != nil {
+		return 0, err
+	}
+	return rtt / 2, nil
+}
+
+// RTO returns the retransmission-timeout style conservative bound
+// srtt + 4·rttvar, useful as a worst-case delay estimate.
+func (e *Estimator) RTO() (time.Duration, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.samples == 0 {
+		return 0, ErrNoSamples
+	}
+	return e.srtt + 4*e.rttvar, nil
+}
+
+// Samples returns how many samples were accepted.
+func (e *Estimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.samples
+}
+
+// LinearModel is the affine message-cost model the paper's §4 uses:
+// cost(bits) = Setup + PerBit·bits, with Setup = w_m and PerBit = w_b.
+type LinearModel struct {
+	Setup  time.Duration // w_m: per-message setup time
+	PerBit time.Duration // w_b: additional per-bit delay
+}
+
+// Cost returns the modeled delay of one message of the given size.
+func (m LinearModel) Cost(bits int) time.Duration {
+	return m.Setup + time.Duration(bits)*m.PerBit
+}
+
+// FitLinear fits a LinearModel from two (bits, delay) measurements by
+// solving the 2×2 system exactly. Measurements at the same size cannot
+// determine a slope.
+func FitLinear(bits1 int, d1 time.Duration, bits2 int, d2 time.Duration) (LinearModel, error) {
+	if bits1 == bits2 {
+		return LinearModel{}, fmt.Errorf("netestim: need distinct sizes to fit, both %d bits", bits1)
+	}
+	perBit := float64(d2-d1) / float64(bits2-bits1)
+	setup := float64(d1) - perBit*float64(bits1)
+	if perBit < 0 || setup < 0 {
+		return LinearModel{}, fmt.Errorf(
+			"netestim: measurements imply negative cost (setup=%v perBit=%v)",
+			time.Duration(setup), time.Duration(perBit))
+	}
+	return LinearModel{Setup: time.Duration(setup), PerBit: time.Duration(perBit)}, nil
+}

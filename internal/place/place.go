@@ -1,0 +1,478 @@
+// Package place implements Phase III of the paper (§3.3): given a program
+// whose checkpoint statements are enumerated into straight cuts S_i, it
+// moves checkpoint statements until no causal path connects two members of
+// any S_i in the extended CFG Ĝ — Condition 1 — so that in any further
+// execution every straight cut R_i is a recovery line (Theorem 3.2).
+//
+// The engine is Algorithm 3.2 run to fixpoint: find a violating pair
+// (C_i^A, C_i^B) with a causal path γ from C_i^A to C_i^B, and move C_i^B
+// backward in the CFG to an edge ⟨a, b⟩ on its dominator chain such that
+// C_i^A cannot reach a in Ĝ (the ENTRY node guarantees such an edge
+// exists, per the paper's termination argument). Moving a checkpoint can
+// unbalance if-branch checkpoint counts, so each round re-equalizes
+// (Phase I's add/remove rule) before re-analyzing.
+//
+// With Options.PreserveLoops (the paper's end-of-§3.3 optimization, on by
+// default in DefaultOptions) a violating pair whose every causal path
+// traverses a backward control edge is NOT moved: such causality only
+// crosses loop iterations, so under Definition 2.3's latest-instance
+// straight cuts the recovery line is preserved provided checkpoint
+// completion follows message order; the pair is recorded as an ordering
+// constraint instead. The simulator verifies this empirically.
+package place
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/insert"
+	"repro/internal/match"
+	"repro/internal/mpl"
+)
+
+// Options configures Phase III.
+type Options struct {
+	// Match configures Phase II (the matcher runs each fixpoint round).
+	Match match.Options
+	// PreserveLoops keeps checkpoints inside loops when every violating
+	// path crosses a loop boundary (back edge), recording an ordering
+	// constraint instead of moving.
+	PreserveLoops bool
+	// MaxIterations bounds the move-reanalyze fixpoint. Zero means the
+	// default (100).
+	MaxIterations int
+}
+
+// DefaultOptions enables the loop-preservation optimization.
+var DefaultOptions = Options{PreserveLoops: true}
+
+func (o Options) maxIter() int {
+	if o.MaxIterations <= 0 {
+		return 100
+	}
+	return o.MaxIterations
+}
+
+// Violation is a detected breach of Condition 1: the checkpoint at
+// FromStmt can happen-before the one at ToStmt within the same straight
+// cut.
+type Violation struct {
+	Index    int // the straight-cut index i
+	FromStmt int // checkpoint statement id of C_i^A
+	ToStmt   int // checkpoint statement id of C_i^B
+	// ViaBackEdge reports that every witness path crosses a loop boundary.
+	ViaBackEdge bool
+}
+
+// Move records one application of Algorithm 3.2 Step 2.
+type Move struct {
+	ChkptStmt  int    // the moved checkpoint statement id
+	Index      int    // its straight-cut index at move time
+	BeforeStmt int    // reinsertion point: before this statement id
+	Reason     string // human-readable description
+}
+
+// Ordering is a loop-preserved pair: causality between the two checkpoint
+// statements exists only across loop iterations.
+type Ordering struct {
+	Index       int
+	EarlierStmt int // the upstream checkpoint (C_i^A)
+	LaterStmt   int // the downstream checkpoint (C_i^B)
+}
+
+// Result reports the transformation.
+type Result struct {
+	// Program is the transformed program (the input is never mutated).
+	Program *mpl.Program
+	// InitialViolations are the Condition-1 breaches of the input program
+	// (empty when the program was already safe).
+	InitialViolations []Violation
+	// Moves lists the checkpoint movements applied, in order.
+	Moves []Move
+	// Orderings lists loop-preserved pairs remaining in the final program.
+	Orderings []Ordering
+	// EqualizedStmts lists checkpoint statements added by re-equalization.
+	EqualizedStmts []int
+	// CoalescedStmts is the number of redundant checkpoints removed.
+	CoalescedStmts int
+	// Iterations is the number of fixpoint rounds executed.
+	Iterations int
+	// Enumeration is the final checkpoint enumeration.
+	Enumeration *cfg.Enumeration
+	// Residual holds the violations remaining when the fixpoint failed
+	// (empty on success).
+	Residual []Violation
+}
+
+// analysis is one round's view of the program.
+type analysis struct {
+	enum       *cfg.Enumeration
+	ext        *match.Extended
+	byIndex    map[int][]int // index -> chkpt node ids
+	violations []Violation   // movable violations (honoring PreserveLoops)
+	orderings  []Ordering    // loop-preserved pairs
+	// firstPath is the witness for violations[0].
+	firstPath *match.CausalPath
+	firstFrom int // CFG node id of violations[0].FromStmt's node
+	firstTo   int // CFG node id of violations[0].ToStmt's node
+}
+
+// analyze runs enumeration + Phase II + Condition 1 on the current program.
+func analyze(p *mpl.Program, opts Options) (*analysis, error) {
+	enum, err := cfg.Enumerate(p)
+	if err != nil {
+		return nil, fmt.Errorf("place: %w", err)
+	}
+	ext, err := match.BuildExtended(p, opts.Match)
+	if err != nil {
+		return nil, err
+	}
+	a := &analysis{
+		enum:    enum,
+		ext:     ext,
+		byIndex: cfg.EnumerateGraph(ext.G, enum),
+	}
+	indexes := make([]int, 0, len(a.byIndex))
+	for i := range a.byIndex {
+		indexes = append(indexes, i)
+	}
+	sort.Ints(indexes)
+	for _, i := range indexes {
+		nodes := a.byIndex[i]
+		for _, from := range nodes {
+			for _, to := range nodes {
+				if from == to {
+					continue
+				}
+				path := ext.FindCausalPath(from, to)
+				if path == nil {
+					continue
+				}
+				fromStmt := ext.G.Nodes[from].Stmt.ID()
+				toStmt := ext.G.Nodes[to].Stmt.ID()
+				if opts.PreserveLoops && path.HasBackEdge {
+					a.orderings = append(a.orderings, Ordering{
+						Index: i, EarlierStmt: fromStmt, LaterStmt: toStmt,
+					})
+					continue
+				}
+				v := Violation{Index: i, FromStmt: fromStmt, ToStmt: toStmt, ViaBackEdge: path.HasBackEdge}
+				if len(a.violations) == 0 {
+					a.firstPath = path
+					a.firstFrom = from
+					a.firstTo = to
+				}
+				a.violations = append(a.violations, v)
+			}
+		}
+	}
+	return a, nil
+}
+
+// Ensure runs Phase III on a program (which must already contain
+// checkpoints; run Phase I first otherwise) and returns the transformed
+// program plus the full transformation report.
+func Ensure(p *mpl.Program, opts Options) (*Result, error) {
+	prog := mpl.Clone(p)
+	res := &Result{}
+
+	eq, err := insert.Equalize(prog)
+	if err != nil {
+		return nil, fmt.Errorf("place: pre-equalization: %w", err)
+	}
+	res.EqualizedStmts = append(res.EqualizedStmts, eq...)
+
+	first, err := analyze(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.InitialViolations = first.violations
+
+	cur := first
+	for iter := 0; ; iter++ {
+		if iter >= opts.maxIter() {
+			// Return the partial transformation so callers can inspect the
+			// stuck state; the error still signals failure.
+			res.Program = prog
+			res.Orderings = dedupOrderings(cur.orderings)
+			res.Enumeration = cur.enum
+			res.Residual = cur.violations
+			return res, fmt.Errorf("place: no fixpoint after %d iterations (%d violations remain)",
+				iter, len(cur.violations))
+		}
+		res.Iterations = iter + 1
+		if len(cur.violations) == 0 {
+			break
+		}
+		moves, err := applyMoves(prog, cur, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Moves = append(res.Moves, moves...)
+		if !opts.PreserveLoops {
+			// Base mode gathers all members of the violating index at one
+			// position; merge the resulting adjacent duplicates so the
+			// index collapses to a single statement.
+			res.CoalescedStmts += insert.Coalesce(prog)
+		}
+
+		eq, err := insert.Equalize(prog)
+		if err != nil {
+			return nil, fmt.Errorf("place: re-equalization: %w", err)
+		}
+		res.EqualizedStmts = append(res.EqualizedStmts, eq...)
+
+		cur, err = analyze(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Cleanup: coalescing adjacent duplicate checkpoints must not
+	// reintroduce violations or imbalance; verify on a clone and keep the
+	// cleaned program only if it stays safe.
+	cleaned := mpl.Clone(prog)
+	if removed := insert.Coalesce(cleaned); removed > 0 {
+		if eq, err := insert.Equalize(cleaned); err == nil && len(eq) == 0 {
+			if after, err := analyze(cleaned, opts); err == nil && len(after.violations) == 0 {
+				prog = cleaned
+				cur = after
+				res.CoalescedStmts = removed
+			}
+		}
+	}
+
+	res.Program = prog
+	res.Orderings = dedupOrderings(cur.orderings)
+	res.Enumeration = cur.enum
+	return res, nil
+}
+
+func dedupOrderings(in []Ordering) []Ordering {
+	seen := make(map[Ordering]bool, len(in))
+	var out []Ordering
+	for _, o := range in {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// applyMoves performs Algorithm 3.2 Step 2 for the first violation.
+//
+// In PreserveLoops mode (the default) only the downstream checkpoint
+// C_i^B moves, and "no path from C_i^A to a in Ĝ" uses acyclic
+// (back-edge-free) reachability — the notion that matches the mode's
+// violation definition, since cross-iteration causality is tolerated and
+// recorded as an ordering. The movement lands exactly before the point
+// where the witness path γ enters C_i^B's dominator chain (the paper's "b
+// is the first node of the path ⟨ENTRY,…,C_B⟩ that is in γ"), because every
+// deeper chain edge has an upstream endpoint the violator can reach.
+//
+// In base mode all members of the violating straight cut S_i gather at one
+// position chosen with full (cyclic) reachability from every member; the
+// caller coalesces the resulting adjacent duplicates. Moving one member at
+// a time in base mode can livelock against re-equalization (the moved
+// checkpoint leaves its branch, equalization regrows it); gathering the
+// whole cut converges and is what the repeated application of Step 2
+// produces anyway once loop positions are all reachable via back edges.
+func applyMoves(prog *mpl.Program, a *analysis, opts Options) ([]Move, error) {
+	g := a.ext.G
+	toNode := a.firstTo
+	fromNode := a.firstFrom
+	index := a.violations[0].Index
+
+	var moveStmts []int // checkpoint statements to relocate
+	var reach cfg.Bitset
+	if opts.PreserveLoops {
+		moveStmts = []int{g.Nodes[toNode].Stmt.ID()}
+		reach = extendedReachable(a.ext, fromNode, true)
+	} else {
+		for _, n := range a.byIndex[index] {
+			moveStmts = append(moveStmts, g.Nodes[n].Stmt.ID())
+		}
+		reach = cfg.NewBitset(len(g.Nodes))
+		for _, n := range a.byIndex[index] {
+			reach.UnionWith(extendedReachable(a.ext, n, false))
+		}
+	}
+
+	// Dominator chain of toNode, ordered from entry outward. Dominance is
+	// a total order on the chain, so sorting by "dominates" is sound.
+	dom := g.Dominators()
+	var chain []int
+	for _, n := range dom[toNode].Members() {
+		if n == toNode || n == g.Entry {
+			continue
+		}
+		chain = append(chain, n)
+	}
+	sort.Slice(chain, func(i, j int) bool {
+		return cfg.Dominates(dom, chain[i], chain[j])
+	})
+
+	// Walk the chain from the deepest (closest to C_B) position upward and
+	// take the first edge ⟨a,b⟩ whose upstream endpoint the violators
+	// cannot reach — the minimal movement satisfying the paper's
+	// condition. The ENTRY node is the final fallback: nothing reaches it.
+	for k := len(chain) - 1; k >= 0; k-- {
+		b := chain[k]
+		aNode := g.Entry
+		if k > 0 {
+			aNode = chain[k-1]
+		}
+		if reach.Has(aNode) {
+			continue
+		}
+		targetStmt := g.Nodes[b].Stmt.ID()
+		var moves []Move
+		for _, ck := range moveStmts {
+			if ck == targetStmt {
+				continue
+			}
+			moved, err := moveChkptBefore(prog, ck, targetStmt)
+			if err != nil {
+				return nil, err
+			}
+			moves = append(moves, Move{
+				ChkptStmt:  moved,
+				Index:      index,
+				BeforeStmt: targetStmt,
+				Reason: fmt.Sprintf("C_%d at stmt #%d reachable from stmt #%d; moved before %s",
+					index, moved, g.Nodes[fromNode].Stmt.ID(), g.Nodes[b].Label),
+			})
+		}
+		return moves, nil
+	}
+	return nil, errors.New("place: no movement position found (checkpoint already at program start)")
+}
+
+// extendedReachable returns the set of CFG nodes reachable from start via
+// control and message edges. With acyclic set, backward control edges are
+// excluded — reachability within a single "iteration unrolling", the
+// notion PreserveLoops mode uses.
+func extendedReachable(x *match.Extended, start int, acyclic bool) cfg.Bitset {
+	var backSet map[cfg.Edge]bool
+	if acyclic {
+		backSet = make(map[cfg.Edge]bool)
+		for _, e := range x.G.BackEdges() {
+			backSet[e] = true
+		}
+	}
+	seen := cfg.NewBitset(len(x.G.Nodes))
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen.Has(v) {
+			continue
+		}
+		seen.Set(v)
+		for _, e := range x.G.Succs(v) {
+			if acyclic && backSet[e] {
+				continue
+			}
+			if !seen.Has(e.To) {
+				stack = append(stack, e.To)
+			}
+		}
+		for _, r := range x.MessagesFrom(v) {
+			if !seen.Has(r) {
+				stack = append(stack, r)
+			}
+		}
+	}
+	return seen
+}
+
+// moveChkptBefore removes the checkpoint statement chkptID from its block
+// and reinserts it immediately before statement targetID. It returns the
+// moved statement's id.
+func moveChkptBefore(p *mpl.Program, chkptID, targetID int) (int, error) {
+	stmt, ok := removeStmt(p, chkptID)
+	if !ok {
+		return 0, fmt.Errorf("place: checkpoint statement #%d not found", chkptID)
+	}
+	ck, ok := stmt.(*mpl.Chkpt)
+	if !ok {
+		return 0, fmt.Errorf("place: statement #%d is %s, not a checkpoint", chkptID, mpl.DescribeStmt(stmt))
+	}
+	if !insertBefore(p, targetID, ck) {
+		return 0, fmt.Errorf("place: reinsertion target #%d not found", targetID)
+	}
+	return ck.ID(), nil
+}
+
+// removeStmt removes the statement with the given id from the program,
+// returning it.
+func removeStmt(p *mpl.Program, id int) (mpl.Stmt, bool) {
+	var removed mpl.Stmt
+	var fix func(body []mpl.Stmt) []mpl.Stmt
+	fix = func(body []mpl.Stmt) []mpl.Stmt {
+		out := body[:0]
+		for _, s := range body {
+			if s.ID() == id && removed == nil {
+				removed = s
+				continue
+			}
+			switch st := s.(type) {
+			case *mpl.While:
+				st.Body = fix(st.Body)
+			case *mpl.If:
+				st.Then = fix(st.Then)
+				st.Else = fix(st.Else)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	p.Body = fix(p.Body)
+	return removed, removed != nil
+}
+
+// insertBefore inserts stmt immediately before the statement with
+// targetID, wherever it lives.
+func insertBefore(p *mpl.Program, targetID int, stmt mpl.Stmt) bool {
+	done := false
+	var fix func(body []mpl.Stmt) []mpl.Stmt
+	fix = func(body []mpl.Stmt) []mpl.Stmt {
+		for i, s := range body {
+			if s.ID() == targetID && !done {
+				done = true
+				out := make([]mpl.Stmt, 0, len(body)+1)
+				out = append(out, body[:i]...)
+				out = append(out, stmt)
+				out = append(out, body[i:]...)
+				return out
+			}
+			switch st := s.(type) {
+			case *mpl.While:
+				st.Body = fix(st.Body)
+			case *mpl.If:
+				st.Then = fix(st.Then)
+				st.Else = fix(st.Else)
+			}
+			if done {
+				break
+			}
+		}
+		return body
+	}
+	p.Body = fix(p.Body)
+	return done
+}
+
+// Check runs Condition 1 on a program without transforming it, returning
+// the violations and loop-preserved orderings. It is the verification-only
+// entry point (e.g. for programs the user believes are already safe).
+func Check(p *mpl.Program, opts Options) (violations []Violation, orderings []Ordering, err error) {
+	a, err := analyze(p, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.violations, dedupOrderings(a.orderings), nil
+}

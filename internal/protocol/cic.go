@@ -1,0 +1,58 @@
+package protocol
+
+import "repro/internal/sim"
+
+// cicProc is the per-process state of index-based communication-induced
+// checkpointing (the BCS protocol of Briatico, Ciuffoletti & Simoncini):
+// a local checkpoint index, piggybacked on every application message.
+type cicProc struct {
+	index int
+}
+
+// CIC returns the hooks factory for index-based communication-induced
+// checkpointing. Voluntary checkpoints happen at the application's
+// checkpoint statements and advance the local index; a message arriving
+// with a larger piggybacked index forces a checkpoint with the sender's
+// index BEFORE delivery, so that all checkpoints sharing an index form a
+// consistent cut.
+func CIC() sim.HooksFactory {
+	return func(rank, nproc int) sim.Hooks {
+		return &cicHooks{state: &cicProc{}}
+	}
+}
+
+type cicHooks struct {
+	sim.NoHooks
+	state *cicProc
+}
+
+var _ sim.Hooks = (*cicHooks)(nil)
+
+// AtChkptStmt takes a voluntary checkpoint with the next index.
+func (h *cicHooks) AtChkptStmt(p *sim.Proc, _ int) (bool, error) {
+	st := h.state
+	st.index++
+	return false, p.TakeCheckpoint(st.index)
+}
+
+// BeforeSend piggybacks the local index.
+func (h *cicHooks) BeforeSend(p *sim.Proc, to int) []int {
+	return []int{h.state.index}
+}
+
+// BeforeDeliver applies the induction rule: a message from index k > local
+// index forces a checkpoint at index k before delivery (the message then
+// belongs to the interval AFTER the forced checkpoint, keeping the
+// index-k cut orphan-free).
+func (h *cicHooks) BeforeDeliver(p *sim.Proc, m sim.Message) error {
+	st := h.state
+	if len(m.Piggyback) == 0 {
+		return nil
+	}
+	if k := m.Piggyback[0]; k > st.index {
+		st.index = k
+		p.Counters().IncForced(1)
+		return p.TakeCheckpoint(k)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package protocol
+
+import "repro/internal/sim"
+
+// uncoordProc is the per-process state of uncoordinated checkpointing: a
+// purely local checkpoint counter and an event-based timer.
+type uncoordProc struct {
+	counter    int
+	lastEvents int
+}
+
+// Uncoordinated returns the hooks factory for uncoordinated checkpointing:
+// each process checkpoints on its own schedule — every interval local
+// events (a stand-in for a local wall-clock timer) — with no coordination
+// and no regard for the application's checkpoint statements. Recovery must
+// search for a consistent cut among the saved checkpoints
+// (recovery.LatestConsistent) and can exhibit the domino effect.
+//
+// With interval <= 0, processes instead checkpoint at the application's
+// checkpoint statements but with private local indexes (counter values),
+// so the straight-cut structure is deliberately discarded.
+func Uncoordinated(interval int) sim.HooksFactory {
+	return func(rank, nproc int) sim.Hooks {
+		return &uncoordHooks{state: &uncoordProc{}, interval: interval}
+	}
+}
+
+type uncoordHooks struct {
+	sim.NoHooks
+	state    *uncoordProc
+	interval int
+}
+
+var _ sim.Hooks = (*uncoordHooks)(nil)
+
+// AtChkptStmt: in statement mode, checkpoint with a private local index.
+func (h *uncoordHooks) AtChkptStmt(p *sim.Proc, _ int) (bool, error) {
+	if h.interval > 0 {
+		return false, nil // timer mode ignores application checkpoints
+	}
+	h.state.counter++
+	return false, p.TakeCheckpoint(h.state.counter)
+}
+
+// OnStep: in timer mode, checkpoint every interval events.
+func (h *uncoordHooks) OnStep(p *sim.Proc) error {
+	if h.interval <= 0 {
+		return nil
+	}
+	st := h.state
+	if p.Events()-st.lastEvents >= h.interval {
+		st.lastEvents = p.Events()
+		st.counter++
+		return p.TakeCheckpoint(st.counter)
+	}
+	return nil
+}

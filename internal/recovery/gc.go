@@ -1,0 +1,62 @@
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// GC garbage-collects obsolete checkpoints: for every checkpoint index
+// present on all n processes, it keeps the newest `keep` instances at or
+// below the common frontier (the minimum of the per-process latest
+// instances — the instances StraightCut can choose from) and deletes
+// everything older. Instances above the frontier are always kept: a
+// process that is ahead may still be rolled back to them.
+//
+// With keep=1 only the current recovery line (and anything newer) remains
+// — the steady-state footprint of the coordination-free scheme, which
+// never rolls back past the latest straight cut.
+//
+// GC deletes interior records and therefore requires a store with random
+// deletion (Memory, File); the delta-encoded Incremental store refuses
+// interior deletes and is reported as an error.
+func GC(st storage.Store, n, keep int) (deleted int, err error) {
+	if keep < 1 {
+		return 0, fmt.Errorf("recovery: GC keep must be >= 1, got %d", keep)
+	}
+	indexes, err := st.Indexes(n)
+	if err != nil {
+		return 0, err
+	}
+	for _, idx := range indexes {
+		frontier := -1
+		for p := 0; p < n; p++ {
+			latest, err := st.Latest(p, idx)
+			if err != nil {
+				return deleted, err
+			}
+			if frontier < 0 || latest.Instance < frontier {
+				frontier = latest.Instance
+			}
+		}
+		cutoff := frontier - keep + 1 // delete instances < cutoff
+		if cutoff <= 0 {
+			continue
+		}
+		for p := 0; p < n; p++ {
+			snaps, err := st.List(p)
+			if err != nil {
+				return deleted, err
+			}
+			for _, s := range snaps {
+				if s.CFGIndex == idx && s.Instance < cutoff {
+					if err := st.Delete(p, s.CFGIndex, s.Instance); err != nil {
+						return deleted, fmt.Errorf("recovery: GC: %w", err)
+					}
+					deleted++
+				}
+			}
+		}
+	}
+	return deleted, nil
+}

@@ -1,0 +1,119 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// fill saves instances 0..count-1 of index 1 for both of 2 processes,
+// with proc 0 one instance ahead when ahead is set.
+func fill(t *testing.T, st storage.Store, count int, ahead bool) {
+	t.Helper()
+	for p := 0; p < 2; p++ {
+		limit := count
+		if ahead && p == 0 {
+			limit = count + 1
+		}
+		for k := 0; k < limit; k++ {
+			clk := vclock.New(2)
+			clk[p] = uint64(k + 1)
+			err := st.Save(storage.Snapshot{
+				Proc: p, CFGIndex: 1, Instance: k, Clock: clk,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestGCKeepsRecoveryLine(t *testing.T) {
+	st := storage.NewMemory()
+	fill(t, st, 5, false)
+	deleted, err := GC(st, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frontier = 4; keep instance 4 only: 4 deleted per proc.
+	if deleted != 8 {
+		t.Fatalf("deleted = %d, want 8", deleted)
+	}
+	// The recovery line must still be computable.
+	line, err := StraightCut(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Snapshots[0].Instance != 4 {
+		t.Errorf("recovery line instance = %d, want 4", line.Snapshots[0].Instance)
+	}
+}
+
+func TestGCKeepsAheadInstances(t *testing.T) {
+	st := storage.NewMemory()
+	fill(t, st, 3, true) // proc 0 has instance 3, frontier is 2
+	if _, err := GC(st, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Proc 0's instance 3 (above frontier) must survive.
+	if _, err := st.Get(0, 1, 3); err != nil {
+		t.Errorf("ahead instance deleted: %v", err)
+	}
+	// Frontier instance 2 survives on both.
+	for p := 0; p < 2; p++ {
+		if _, err := st.Get(p, 1, 2); err != nil {
+			t.Errorf("proc %d frontier instance deleted: %v", p, err)
+		}
+		if _, err := st.Get(p, 1, 1); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("proc %d stale instance kept", p)
+		}
+	}
+}
+
+func TestGCKeepN(t *testing.T) {
+	st := storage.NewMemory()
+	fill(t, st, 6, false)
+	deleted, err := GC(st, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 6 { // instances 0,1,2 on each of 2 procs
+		t.Fatalf("deleted = %d, want 6", deleted)
+	}
+	for k := 3; k <= 5; k++ {
+		if _, err := st.Get(0, 1, k); err != nil {
+			t.Errorf("kept instance %d missing", k)
+		}
+	}
+}
+
+func TestGCValidatesKeep(t *testing.T) {
+	if _, err := GC(storage.NewMemory(), 2, 0); err == nil {
+		t.Fatal("keep=0 accepted")
+	}
+}
+
+func TestGCEmptyStore(t *testing.T) {
+	deleted, err := GC(storage.NewMemory(), 2, 1)
+	if err != nil || deleted != 0 {
+		t.Fatalf("deleted=%d err=%v", deleted, err)
+	}
+}
+
+func TestGCIncrementalStoreRefusesInterior(t *testing.T) {
+	inc := storage.NewIncremental(4)
+	for p := 0; p < 2; p++ {
+		for k := 0; k < 5; k++ {
+			clk := vclock.New(2)
+			clk[p] = uint64(k + 1)
+			if err := inc.Save(storage.Snapshot{Proc: p, CFGIndex: 1, Instance: k, Clock: clk}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := GC(inc, 2, 1); err == nil {
+		t.Fatal("interior GC on incremental store should error")
+	}
+}

@@ -1,0 +1,169 @@
+// Package recovery chooses recovery lines from stable storage after a
+// failure.
+//
+// For the paper's application-driven scheme the recovery line is a
+// straight cut: the i-th checkpoint of every process (Definition 2.2/2.3).
+// StraightCut picks the most advanced saved straight cut and verifies its
+// consistency with the vector clocks captured at checkpoint time — the
+// runtime manifestation of Theorem 3.2 (the verification never fails for
+// programs transformed by Phase III; for untransformed programs it is how
+// tests demonstrate the domino-prone alternative).
+//
+// For the uncoordinated baseline the package implements the classic
+// rollback-dependency algorithm: start from every process's latest
+// checkpoint and roll processes back until the cut is consistent. The
+// number of rollback steps measures the domino effect; the algorithm can
+// cascade all the way to the initial state (unbounded rollback
+// propagation, §1).
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// ErrNoRecoveryLine means no consistent cut exists in storage; the
+// application must restart from its initial state.
+var ErrNoRecoveryLine = errors.New("recovery: no recovery line available")
+
+// ErrInconsistentCut reports that a cut expected to be consistent is not —
+// for straight cuts this would falsify Theorem 3.2 for the given program.
+var ErrInconsistentCut = errors.New("recovery: straight cut is not consistent")
+
+// Line is a chosen recovery line: one snapshot per process, indexed by
+// process id.
+type Line struct {
+	Snapshots []storage.Snapshot
+	// Rollbacks counts how many saved checkpoints were skipped below the
+	// latest ones (0 for a straight cut at everyone's newest index;
+	// positive values for uncoordinated recovery measure the domino
+	// effect).
+	Rollbacks int
+}
+
+// consistent reports whether no snapshot in the cut happened before
+// another (Definition 2.1 via vector clocks).
+func consistent(cut []storage.Snapshot) (int, int, bool) {
+	for i := range cut {
+		for j := range cut {
+			if i != j && cut[i].Clock.Before(cut[j].Clock) {
+				return i, j, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+// StraightCut returns the recovery line for the application-driven scheme:
+// the straight cut R_i with the largest common (index, instance) progress.
+// For each checkpoint index i present on every process it considers the
+// cut at instance k_i = min over processes of the latest saved instance of
+// C_{p,i}, and picks the candidate with the greatest total progress
+// (vector-clock component sum). The chosen cut's consistency is verified;
+// an inconsistent straight cut is reported as ErrInconsistentCut.
+func StraightCut(st storage.Store, n int) (*Line, error) {
+	indexes, err := st.Indexes(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(indexes) == 0 {
+		return nil, ErrNoRecoveryLine
+	}
+	var best []storage.Snapshot
+	bestScore := uint64(0)
+	for _, idx := range indexes {
+		// Common instance: the minimum of the per-process latest instances.
+		k := -1
+		for p := 0; p < n; p++ {
+			latest, err := st.Latest(p, idx)
+			if err != nil {
+				return nil, err
+			}
+			if k < 0 || latest.Instance < k {
+				k = latest.Instance
+			}
+		}
+		cut := make([]storage.Snapshot, n)
+		ok := true
+		for p := 0; p < n; p++ {
+			s, err := st.Get(p, idx, k)
+			if err != nil {
+				// A process skipped this instance (should not happen for
+				// SPMD programs; be conservative and skip the candidate).
+				ok = false
+				break
+			}
+			cut[p] = s
+		}
+		if !ok {
+			continue
+		}
+		score := uint64(0)
+		for _, s := range cut {
+			for _, c := range s.Clock {
+				score += c
+			}
+		}
+		if best == nil || score > bestScore {
+			best = cut
+			bestScore = score
+		}
+	}
+	if best == nil {
+		return nil, ErrNoRecoveryLine
+	}
+	if i, j, ok := consistent(best); !ok {
+		return nil, fmt.Errorf("%w: C_{p%d,i%d}#%d happened before C_{p%d,i%d}#%d",
+			ErrInconsistentCut,
+			best[i].Proc, best[i].CFGIndex, best[i].Instance,
+			best[j].Proc, best[j].CFGIndex, best[j].Instance)
+	}
+	return &Line{Snapshots: best}, nil
+}
+
+// LatestConsistent implements uncoordinated recovery: start from each
+// process's newest snapshot and repeatedly roll back any process whose
+// snapshot happened before another's, until the cut is consistent or some
+// process runs out of snapshots (ErrNoRecoveryLine — the domino effect
+// consumed everything). Rollbacks in the result counts the total
+// roll-back steps.
+func LatestConsistent(st storage.Store, n int) (*Line, error) {
+	// all[p] is p's snapshots in temporal order (List returns
+	// (index, instance) sorted; for a single local counter that IS
+	// temporal order).
+	all := make([][]storage.Snapshot, n)
+	pos := make([]int, n) // current candidate = all[p][pos[p]]
+	for p := 0; p < n; p++ {
+		snaps, err := st.List(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(snaps) == 0 {
+			return nil, ErrNoRecoveryLine
+		}
+		all[p] = snaps
+		pos[p] = len(snaps) - 1
+	}
+	rollbacks := 0
+	for {
+		cut := make([]storage.Snapshot, n)
+		for p := 0; p < n; p++ {
+			cut[p] = all[p][pos[p]]
+		}
+		_, j, ok := consistent(cut)
+		if ok {
+			return &Line{Snapshots: cut, Rollbacks: rollbacks}, nil
+		}
+		// cut[i] happened before cut[j]: j recorded effects of messages i
+		// sent after cut[i]; those sends are not covered by i's
+		// checkpoint, so j's checkpoint is an orphan state — roll back j.
+		if pos[j] == 0 {
+			return nil, fmt.Errorf("%w: process %d rolled back to its first checkpoint (domino)",
+				ErrNoRecoveryLine, j)
+		}
+		pos[j]--
+		rollbacks++
+	}
+}

@@ -1,0 +1,182 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// save persists a snapshot with the given clock.
+func save(t *testing.T, st storage.Store, proc, index, instance int, clock vclock.VC) {
+	t.Helper()
+	err := st.Save(storage.Snapshot{
+		Proc: proc, CFGIndex: index, Instance: instance, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStraightCutEmptyStore(t *testing.T) {
+	st := storage.NewMemory()
+	if _, err := StraightCut(st, 2); !errors.Is(err, ErrNoRecoveryLine) {
+		t.Fatalf("err = %v, want ErrNoRecoveryLine", err)
+	}
+}
+
+func TestStraightCutPicksCommonInstance(t *testing.T) {
+	st := storage.NewMemory()
+	// Proc 0 has instances 0..2, proc 1 only 0..1 (it was behind at the
+	// failure): the cut must use instance 1 (concurrent clocks).
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 0, 1, 1, vclock.VC{5, 2})
+	save(t, st, 0, 1, 2, vclock.VC{9, 6})
+	save(t, st, 1, 1, 0, vclock.VC{0, 1})
+	save(t, st, 1, 1, 1, vclock.VC{2, 5})
+	line, err := StraightCut(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range line.Snapshots {
+		if s.Proc != p || s.CFGIndex != 1 || s.Instance != 1 {
+			t.Errorf("snapshot %d = %+v, want index 1 instance 1", p, s)
+		}
+	}
+	if line.Rollbacks != 0 {
+		t.Errorf("rollbacks = %d", line.Rollbacks)
+	}
+}
+
+func TestStraightCutDetectsInconsistency(t *testing.T) {
+	st := storage.NewMemory()
+	// Proc 0's checkpoint happened before proc 1's (Figure 3 situation).
+	save(t, st, 0, 1, 0, vclock.VC{2, 0})
+	save(t, st, 1, 1, 0, vclock.VC{3, 4})
+	_, err := StraightCut(st, 2)
+	if !errors.Is(err, ErrInconsistentCut) {
+		t.Fatalf("err = %v, want ErrInconsistentCut", err)
+	}
+}
+
+func TestStraightCutPrefersMostProgress(t *testing.T) {
+	st := storage.NewMemory()
+	// Two indexes: index 1 early, index 2 later. Both consistent; index 2
+	// has larger clocks and must win.
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 1, 1, 0, vclock.VC{0, 1})
+	save(t, st, 0, 2, 0, vclock.VC{7, 5})
+	save(t, st, 1, 2, 0, vclock.VC{5, 7})
+	line, err := StraightCut(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Snapshots[0].CFGIndex != 2 {
+		t.Errorf("chose index %d, want 2", line.Snapshots[0].CFGIndex)
+	}
+}
+
+func TestStraightCutRequiresAllProcs(t *testing.T) {
+	st := storage.NewMemory()
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	// Proc 1 never checkpointed.
+	if _, err := StraightCut(st, 2); !errors.Is(err, ErrNoRecoveryLine) {
+		t.Fatalf("err = %v, want ErrNoRecoveryLine", err)
+	}
+}
+
+func TestLatestConsistentNoRollbackNeeded(t *testing.T) {
+	st := storage.NewMemory()
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 0, 1, 1, vclock.VC{4, 2})
+	save(t, st, 1, 1, 0, vclock.VC{0, 1})
+	save(t, st, 1, 1, 1, vclock.VC{2, 4})
+	line, err := LatestConsistent(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Rollbacks != 0 {
+		t.Errorf("rollbacks = %d, want 0", line.Rollbacks)
+	}
+	if line.Snapshots[0].Instance != 1 || line.Snapshots[1].Instance != 1 {
+		t.Errorf("cut = %+v", line.Snapshots)
+	}
+}
+
+func TestLatestConsistentRollsBackOrphan(t *testing.T) {
+	st := storage.NewMemory()
+	// Proc 1's latest checkpoint saw proc 0's post-checkpoint messages
+	// (clock {5,6} dominates proc 0's {5,1}): proc 1 must roll back.
+	save(t, st, 0, 1, 0, vclock.VC{2, 0})
+	save(t, st, 0, 1, 1, vclock.VC{5, 1})
+	save(t, st, 1, 1, 0, vclock.VC{0, 2})
+	save(t, st, 1, 1, 1, vclock.VC{5, 6}) // orphan: after proc0's #1
+	line, err := LatestConsistent(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1", line.Rollbacks)
+	}
+	if line.Snapshots[1].Instance != 0 {
+		t.Errorf("proc 1 restored instance %d, want 0", line.Snapshots[1].Instance)
+	}
+	if line.Snapshots[0].Instance != 1 {
+		t.Errorf("proc 0 restored instance %d, want 1 (no rollback)", line.Snapshots[0].Instance)
+	}
+}
+
+func TestLatestConsistentDominoCascade(t *testing.T) {
+	st := storage.NewMemory()
+	// Classic domino: each checkpoint of each process depends on the
+	// other's previous interval, so no combination is consistent except
+	// nothing — the cascade consumes all checkpoints of proc 1 first.
+	//
+	// Chain: p1#1 saw p0#0's post-checkpoint messages, and p0#1 saw
+	// p1#1's; rolling back p0 exposes the p0#0→p1#1 orphan, rolling back
+	// p1 finally yields the concurrent initial pair.
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 1, 1, 0, vclock.VC{0, 1})
+	save(t, st, 1, 1, 1, vclock.VC{2, 3})
+	save(t, st, 0, 1, 1, vclock.VC{4, 4})
+	line, err := LatestConsistent(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Rollbacks != 2 {
+		t.Errorf("rollbacks = %d, want 2", line.Rollbacks)
+	}
+	if line.Snapshots[0].Instance != 0 || line.Snapshots[1].Instance != 0 {
+		t.Errorf("cascade should reach the initial pair: %+v", line.Snapshots)
+	}
+	a, b := line.Snapshots[0], line.Snapshots[1]
+	if a.Clock.Before(b.Clock) || b.Clock.Before(a.Clock) {
+		t.Errorf("returned inconsistent cut: %v vs %v", a.Clock, b.Clock)
+	}
+}
+
+func TestLatestConsistentTotalDomino(t *testing.T) {
+	st := storage.NewMemory()
+	// Every checkpoint of proc 1 is an orphan of proc 0's only checkpoint;
+	// proc 1 runs out of checkpoints.
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 1, 1, 0, vclock.VC{2, 1})
+	line, err := LatestConsistent(st, 2)
+	if err == nil {
+		// {proc0#0, proc1#0}: proc0 {1,0} vs proc1 {2,1}: {1,0} < {2,1},
+		// inconsistent; proc1 has nothing earlier.
+		t.Fatalf("expected domino exhaustion, got %+v", line.Snapshots)
+	}
+	if !errors.Is(err, ErrNoRecoveryLine) {
+		t.Fatalf("err = %v, want ErrNoRecoveryLine", err)
+	}
+}
+
+func TestLatestConsistentEmptyProcess(t *testing.T) {
+	st := storage.NewMemory()
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	if _, err := LatestConsistent(st, 2); !errors.Is(err, ErrNoRecoveryLine) {
+		t.Fatalf("err = %v, want ErrNoRecoveryLine", err)
+	}
+}

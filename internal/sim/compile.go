@@ -1,0 +1,179 @@
+// Package sim is the distributed runtime: it executes an MPL program on n
+// concurrent processes (goroutines) connected by reliable FIFO channels —
+// the paper's §2 system model — while recording the execution as a trace,
+// stamping vector clocks, taking checkpoints to stable storage, and
+// optionally injecting failures and restarting from recovery lines.
+//
+// Programs are compiled to a flat instruction list so a process can resume
+// from a checkpoint by restoring variables and jumping to the saved
+// program counter. Checkpointing *protocols* (application-driven, SaS,
+// Chandy-Lamport, CIC, uncoordinated) plug in through the Hooks interface
+// in hooks.go.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/mpl"
+)
+
+// OpCode enumerates instruction kinds.
+type OpCode int
+
+// Instruction opcodes.
+const (
+	OpAssign OpCode = iota + 1
+	OpWork
+	OpSend
+	OpRecv
+	OpBcast
+	OpReduce
+	OpChkpt
+	OpJump
+	OpBranchFalse // jump to Target when Expr is zero, else fall through
+	OpHalt
+)
+
+// String names the opcode.
+func (o OpCode) String() string {
+	switch o {
+	case OpAssign:
+		return "assign"
+	case OpWork:
+		return "work"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpBcast:
+		return "bcast"
+	case OpReduce:
+		return "reduce"
+	case OpChkpt:
+		return "chkpt"
+	case OpJump:
+		return "jump"
+	case OpBranchFalse:
+		return "branch-false"
+	case OpHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Instr is one compiled instruction.
+type Instr struct {
+	Op     OpCode
+	StmtID int      // originating statement (-1 for synthetic jumps/halt)
+	Var    string   // assign target / message buffer
+	Expr   mpl.Expr // assign value, work amount, peer expression, or branch condition
+	Target int      // jump / branch-false target pc
+	Index  int      // chkpt: straight-cut index i
+}
+
+// Code is a compiled program.
+type Code struct {
+	Prog   *mpl.Program
+	Instrs []Instr
+	Enum   *cfg.Enumeration
+}
+
+// Compile lowers a program to instructions. The checkpoint enumeration
+// must be unambiguous (run Phase I equalization first if needed).
+func Compile(p *mpl.Program) (*Code, error) {
+	enum, err := cfg.Enumerate(p)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	c := &Code{Prog: p, Enum: enum}
+	if err := c.compileBody(p.Body); err != nil {
+		return nil, err
+	}
+	c.emit(Instr{Op: OpHalt, StmtID: -1})
+	return c, nil
+}
+
+func (c *Code) emit(i Instr) int {
+	c.Instrs = append(c.Instrs, i)
+	return len(c.Instrs) - 1
+}
+
+func (c *Code) compileBody(body []mpl.Stmt) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *mpl.Assign:
+			c.emit(Instr{Op: OpAssign, StmtID: st.ID(), Var: st.Name, Expr: st.X})
+		case *mpl.Work:
+			c.emit(Instr{Op: OpWork, StmtID: st.ID(), Expr: st.Amount})
+		case *mpl.Send:
+			c.emit(Instr{Op: OpSend, StmtID: st.ID(), Var: st.Var, Expr: st.Dest})
+		case *mpl.Recv:
+			c.emit(Instr{Op: OpRecv, StmtID: st.ID(), Var: st.Var, Expr: st.Src})
+		case *mpl.Bcast:
+			c.emit(Instr{Op: OpBcast, StmtID: st.ID(), Var: st.Var, Expr: st.Root})
+		case *mpl.Reduce:
+			c.emit(Instr{Op: OpReduce, StmtID: st.ID(), Var: st.Var, Expr: st.Root})
+		case *mpl.Chkpt:
+			idx, ok := c.Enum.Index[st.ID()]
+			if !ok {
+				return fmt.Errorf("sim: checkpoint statement #%d not enumerated", st.ID())
+			}
+			c.emit(Instr{Op: OpChkpt, StmtID: st.ID(), Index: idx})
+		case *mpl.While:
+			top := c.emit(Instr{Op: OpBranchFalse, StmtID: st.ID(), Expr: st.Cond})
+			if err := c.compileBody(st.Body); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpJump, StmtID: -1, Target: top})
+			c.Instrs[top].Target = len(c.Instrs)
+		case *mpl.If:
+			br := c.emit(Instr{Op: OpBranchFalse, StmtID: st.ID(), Expr: st.Cond})
+			if err := c.compileBody(st.Then); err != nil {
+				return err
+			}
+			if len(st.Else) > 0 {
+				jmp := c.emit(Instr{Op: OpJump, StmtID: -1})
+				c.Instrs[br].Target = len(c.Instrs)
+				if err := c.compileBody(st.Else); err != nil {
+					return err
+				}
+				c.Instrs[jmp].Target = len(c.Instrs)
+			} else {
+				c.Instrs[br].Target = len(c.Instrs)
+			}
+		default:
+			return fmt.Errorf("sim: unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the instruction list for debugging.
+func (c *Code) Disassemble() string {
+	out := ""
+	for pc, in := range c.Instrs {
+		out += fmt.Sprintf("%4d  %-12s", pc, in.Op)
+		switch in.Op {
+		case OpAssign:
+			out += fmt.Sprintf(" %s = %s", in.Var, mpl.ExprString(in.Expr))
+		case OpWork:
+			out += fmt.Sprintf(" %s", mpl.ExprString(in.Expr))
+		case OpSend:
+			out += fmt.Sprintf(" ->%s, %s", mpl.ExprString(in.Expr), in.Var)
+		case OpRecv:
+			out += fmt.Sprintf(" <-%s, %s", mpl.ExprString(in.Expr), in.Var)
+		case OpBcast, OpReduce:
+			out += fmt.Sprintf(" root=%s, %s", mpl.ExprString(in.Expr), in.Var)
+		case OpChkpt:
+			out += fmt.Sprintf(" C_%d", in.Index)
+		case OpJump:
+			out += fmt.Sprintf(" ->%d", in.Target)
+		case OpBranchFalse:
+			out += fmt.Sprintf(" %s ? fall : ->%d", mpl.ExprString(in.Expr), in.Target)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// MsgKind classifies runtime messages.
+type MsgKind int
+
+// Message kinds: application payloads, in-band protocol markers
+// (Chandy-Lamport), and out-of-band control messages (SaS coordination).
+const (
+	MsgApp MsgKind = iota + 1
+	MsgMarker
+	MsgCtrl
+)
+
+// Message is one network message.
+type Message struct {
+	Kind      MsgKind
+	From, To  int
+	Seq       int // per (From,To) application sequence number
+	Value     int
+	Clock     vclock.VC
+	Piggyback []int  // protocol payload carried on app messages
+	Tag       string // marker/control tag
+	// ArriveV is the virtual time at which the message becomes available
+	// to the receiver (0 when virtual-time accounting is off).
+	ArriveV float64
+}
+
+// ErrAborted is returned by blocking receives when the runtime aborts the
+// incarnation (failure injection).
+var ErrAborted = errors.New("sim: incarnation aborted")
+
+// queue is an unbounded FIFO with blocking receive and abort support.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(m Message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a message is available or the queue is aborted.
+func (q *queue) pop() (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return Message{}, ErrAborted
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, nil
+}
+
+// tryPopMarker removes and returns the head only when it is a marker that
+// has virtually arrived (ArriveV <= maxArrive). Deferring messages from
+// the virtual future keeps opportunistic polling causally sound: a real
+// process cannot react to a notification before it arrives.
+func (q *queue) tryPopMarker(maxArrive float64) (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) > 0 && q.items[0].Kind == MsgMarker && q.items[0].ArriveV <= maxArrive {
+		m := q.items[0]
+		q.items = q.items[1:]
+		return m, true
+	}
+	return Message{}, false
+}
+
+// tryPop removes and returns the head message of any kind, subject to the
+// same virtual-arrival horizon.
+func (q *queue) tryPop(maxArrive float64) (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 || q.closed || q.items[0].ArriveV > maxArrive {
+		return Message{}, false
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true
+}
+
+func (q *queue) abort() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// reset clears contents and reopens the queue with the given messages.
+func (q *queue) reset(items []Message) {
+	q.mu.Lock()
+	q.items = append([]Message(nil), items...)
+	q.closed = false
+	q.mu.Unlock()
+}
+
+// Network provides n² FIFO application/marker channels, one control queue
+// per process, and a sender-based message log used to reconstruct channel
+// contents after a rollback.
+type Network struct {
+	n     int
+	chans [][]*queue // [from][to], app + marker traffic
+	ctrl  []*queue   // [to], out-of-band control traffic
+
+	mu  sync.Mutex
+	log [][][]Message // [from][to] append-only log of app messages
+}
+
+// NewNetwork creates the fully connected network for n processes.
+func NewNetwork(n int) *Network {
+	net := &Network{
+		n:     n,
+		chans: make([][]*queue, n),
+		ctrl:  make([]*queue, n),
+		log:   make([][][]Message, n),
+	}
+	for i := 0; i < n; i++ {
+		net.chans[i] = make([]*queue, n)
+		net.log[i] = make([][]Message, n)
+		for j := 0; j < n; j++ {
+			net.chans[i][j] = newQueue()
+		}
+		net.ctrl[i] = newQueue()
+	}
+	return net
+}
+
+// N returns the process count.
+func (net *Network) N() int { return net.n }
+
+// Send delivers an application message (asynchronous, FIFO) and logs it
+// for potential rollback re-injection.
+func (net *Network) Send(m Message) {
+	net.mu.Lock()
+	net.log[m.From][m.To] = append(net.log[m.From][m.To], m)
+	net.mu.Unlock()
+	net.chans[m.From][m.To].push(m)
+}
+
+// SendMarker delivers an in-band marker on the (from, to) channel.
+func (net *Network) SendMarker(m Message) {
+	net.chans[m.From][m.To].push(m)
+}
+
+// SendCtrl delivers an out-of-band control message to m.To.
+func (net *Network) SendCtrl(m Message) {
+	net.ctrl[m.To].push(m)
+}
+
+// Recv blocks for the next in-band message on channel (from, to).
+func (net *Network) Recv(from, to int) (Message, error) {
+	return net.chans[from][to].pop()
+}
+
+// PollMarker removes a leading marker from channel (from, to) if it has
+// arrived by maxArrive virtual time (use math.Inf(1) when accounting is
+// off).
+func (net *Network) PollMarker(from, to int, maxArrive float64) (Message, bool) {
+	return net.chans[from][to].tryPopMarker(maxArrive)
+}
+
+// PollCtrl removes the next control message for process to, if it has
+// arrived by maxArrive virtual time.
+func (net *Network) PollCtrl(to int, maxArrive float64) (Message, bool) {
+	return net.ctrl[to].tryPop(maxArrive)
+}
+
+// RecvCtrl blocks for the next control message for process to.
+func (net *Network) RecvCtrl(to int) (Message, error) {
+	return net.ctrl[to].pop()
+}
+
+// Abort wakes every blocked receiver with ErrAborted.
+func (net *Network) Abort() {
+	for i := range net.chans {
+		for j := range net.chans[i] {
+			net.chans[i][j].abort()
+		}
+	}
+	for _, q := range net.ctrl {
+		q.abort()
+	}
+}
+
+// ResetForRecovery clears all queues and re-injects, for each channel
+// (p→q), the logged application messages with sequence numbers in
+// (recvSeq[q][p], sendSeq[p][q]] — exactly the messages in flight at the
+// recovery line. Messages the sender will regenerate during replay
+// (seq > sendSeq[p][q]) are dropped from the log as well.
+func (net *Network) ResetForRecovery(sendSeq, recvSeq [][]int) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	for p := 0; p < net.n; p++ {
+		for q := 0; q < net.n; q++ {
+			var inflight []Message
+			var keepLog []Message
+			for _, m := range net.log[p][q] {
+				if m.Seq >= sendSeq[p][q] {
+					continue // will be regenerated by replay
+				}
+				keepLog = append(keepLog, m)
+				if m.Seq >= recvSeq[q][p] {
+					inflight = append(inflight, m)
+				}
+			}
+			net.log[p][q] = keepLog
+			net.chans[p][q].reset(inflight)
+		}
+		net.ctrl[p].reset(nil)
+	}
+}

@@ -1,0 +1,567 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/mpl"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// ErrProcFailed is the injected-failure signal.
+var ErrProcFailed = errors.New("sim: process failed (injected)")
+
+// ErrStepBudget means a process exceeded its instruction budget — almost
+// always a livelock or an unproductive protocol loop.
+var ErrStepBudget = errors.New("sim: step budget exhausted")
+
+// workSlices is how many preemptible chunks a work(N) instruction is
+// divided into under virtual-time accounting, bounding how stale a
+// process's clock can be when it reacts to polled protocol traffic.
+const workSlices = 256
+
+// reduceTmpVar receives peer contributions during a reduce; the '$' makes
+// collision with program identifiers impossible.
+const reduceTmpVar = "reduce$tmp"
+
+// Proc is one process of the distributed execution. Protocol hooks receive
+// it to send control traffic, take checkpoints, and inspect identity.
+type Proc struct {
+	rank     int
+	n        int
+	code     *Code
+	net      *Network
+	tr       *trace.Trace
+	store    storage.Store
+	counters *metrics.Counters
+	hooks    Hooks
+
+	env       *mpl.Env
+	pc        int
+	clock     vclock.VC
+	sendSeq   []int
+	recvSeq   []int
+	instances map[int]int
+
+	steps      int
+	maxSteps   int
+	events     int
+	failAfter  int // fail when events reaches this count; <0 = never
+	midRecv    bool
+	atBoundary bool // between instructions (OnStep/OnCtrl/marker phase)
+
+	time    *TimeModel // nil: no virtual-time accounting
+	vtime   float64
+	vfailAt float64 // crash when vtime reaches this; <0 = never
+	// workLeft/workQuantum slice a running work(N) instruction into
+	// preemptible chunks so boundary polling sees intermediate virtual
+	// times (a work instruction is otherwise atomic). -1 = no work in
+	// progress. Mid-work protocol checkpoints resume at the instruction
+	// start (the whole work replays); application checkpoints never land
+	// mid-work.
+	workLeft    int
+	workQuantum int
+
+	// jitter, when set, yields the goroutine randomly at instruction
+	// boundaries to diversify real-time interleavings (Config.Jitter).
+	jitter *rand.Rand
+
+	// protoState lets a protocol attach arbitrary per-process state.
+	protoState any
+}
+
+// newProc builds a fresh process at the program start.
+func newProc(rank int, code *Code, net *Network, tr *trace.Trace, st storage.Store,
+	counters *metrics.Counters, hooks Hooks, input func(rank, i int) int,
+	maxSteps, failAfter int, time *TimeModel, vfailAt float64) *Proc {
+	n := net.N()
+	p := &Proc{
+		rank:      rank,
+		n:         n,
+		code:      code,
+		net:       net,
+		tr:        tr,
+		store:     st,
+		counters:  counters,
+		hooks:     hooks,
+		clock:     vclock.New(n),
+		sendSeq:   make([]int, n),
+		recvSeq:   make([]int, n),
+		instances: make(map[int]int),
+		maxSteps:  maxSteps,
+		failAfter: failAfter,
+		time:      time,
+		vfailAt:   vfailAt,
+		workLeft:  -1,
+	}
+	var inputFn func(int) int
+	if input != nil {
+		inputFn = func(i int) int { return input(rank, i) }
+	}
+	p.env = mpl.NewEnv(code.Prog, rank, n, inputFn)
+	return p
+}
+
+// Rank returns the process id.
+func (p *Proc) Rank() int { return p.rank }
+
+// N returns the process count.
+func (p *Proc) N() int { return p.n }
+
+// Clock returns a copy of the current vector clock.
+func (p *Proc) Clock() vclock.VC { return p.clock.Clone() }
+
+// Var reads a process variable (0 when undeclared).
+func (p *Proc) Var(name string) int { return p.env.Vars[name] }
+
+// ProtoState returns protocol-attached state.
+func (p *Proc) ProtoState() any { return p.protoState }
+
+// SetProtoState attaches protocol state.
+func (p *Proc) SetProtoState(s any) { p.protoState = s }
+
+// Instance returns the next instance number for checkpoint index idx.
+func (p *Proc) Instance(idx int) int { return p.instances[idx] }
+
+// Events returns the number of events recorded this incarnation.
+func (p *Proc) Events() int { return p.events }
+
+// Counters exposes the shared metrics counters (protocols record forced
+// checkpoints and blocked time through them).
+func (p *Proc) Counters() *metrics.Counters { return p.counters }
+
+// resumePC is the program counter a restore should resume at for a
+// checkpoint taken right now: the current instruction when it has not yet
+// (fully) executed — at an instruction boundary or mid-receive — and the
+// next instruction otherwise.
+func (p *Proc) resumePC() int {
+	if p.midRecv || p.atBoundary {
+		return p.pc
+	}
+	return p.pc + 1
+}
+
+// restore rewinds the process to a snapshot.
+func (p *Proc) restore(s storage.Snapshot) error {
+	pc, err := strconv.Atoi(s.PC)
+	if err != nil {
+		return fmt.Errorf("sim: bad snapshot pc %q: %w", s.PC, err)
+	}
+	p.pc = pc
+	p.clock = s.Clock.Clone()
+	p.env.Vars = make(map[string]int, len(s.Vars))
+	for k, v := range s.Vars {
+		p.env.Vars[k] = v
+	}
+	copy(p.sendSeq, s.SendSeqs)
+	copy(p.recvSeq, s.RecvSeqs)
+	p.instances = make(map[int]int, len(s.Instances))
+	for k, v := range s.Instances {
+		p.instances[k] = v
+	}
+	p.vtime = s.VTime
+	return nil
+}
+
+// record appends an event to the trace (when tracing) and applies the
+// failure trigger.
+func (p *Proc) record(e trace.Event) error {
+	if p.tr != nil {
+		e.Proc = p.rank
+		e.Clock = p.clock
+		p.tr.Append(e)
+	}
+	p.events++
+	if p.failAfter >= 0 && p.events >= p.failAfter {
+		return fmt.Errorf("%w: process %d after %d events", ErrProcFailed, p.rank, p.events)
+	}
+	return nil
+}
+
+// TakeCheckpoint takes a local checkpoint with the given straight-cut
+// index: ticks the clock, records the event, and persists the snapshot.
+// Protocols call it for coordinated and forced checkpoints; the chkpt
+// instruction calls it for application checkpoints.
+func (p *Proc) TakeCheckpoint(idx int) error {
+	instance := p.instances[idx]
+	p.instances[idx] = instance + 1
+	p.clock.Tick(p.rank)
+	if p.time != nil {
+		if err := p.advance(p.time.CheckpointOverhead); err != nil {
+			return err
+		}
+	}
+
+	resume := p.resumePC()
+	vars := make(map[string]int, len(p.env.Vars))
+	for k, v := range p.env.Vars {
+		vars[k] = v
+	}
+	instances := make(map[int]int, len(p.instances))
+	for k, v := range p.instances {
+		instances[k] = v
+	}
+	snap := storage.Snapshot{
+		Proc:      p.rank,
+		CFGIndex:  idx,
+		Instance:  instance,
+		Clock:     p.clock.Clone(),
+		Vars:      vars,
+		PC:        strconv.Itoa(resume),
+		SendSeqs:  append([]int(nil), p.sendSeq...),
+		RecvSeqs:  append([]int(nil), p.recvSeq...),
+		Instances: instances,
+		VTime:     p.vtime,
+	}
+	if err := p.store.Save(snap); err != nil {
+		return err
+	}
+	p.counters.IncCheckpoints(1)
+	return p.record(trace.Event{
+		Kind:  trace.KindCheckpoint,
+		Chkpt: trace.Checkpoint{CFGIndex: idx, Instance: instance},
+		Label: "C_" + strconv.Itoa(idx),
+	})
+}
+
+// SendCtrl sends an out-of-band control message (protocol coordination).
+// It pays the same virtual-time setup cost as an application send.
+func (p *Proc) SendCtrl(to int, tag string, payload []int) error {
+	p.counters.IncCtrlMessages(1, 8)
+	arrive, err := p.chargeSend()
+	if err != nil {
+		return err
+	}
+	p.net.SendCtrl(Message{Kind: MsgCtrl, From: p.rank, To: to, Tag: tag, Piggyback: payload, ArriveV: arrive})
+	return nil
+}
+
+// SendMarker sends an in-band marker on the (rank, to) channel.
+func (p *Proc) SendMarker(to int, tag string, payload []int) error {
+	p.counters.IncCtrlMessages(1, 8)
+	arrive, err := p.chargeSend()
+	if err != nil {
+		return err
+	}
+	p.net.SendMarker(Message{Kind: MsgMarker, From: p.rank, To: to, Tag: tag, Piggyback: payload, ArriveV: arrive})
+	return nil
+}
+
+// RecvCtrl blocks for the next control message (protocol barriers),
+// synchronizing the virtual clock to its arrival.
+func (p *Proc) RecvCtrl() (Message, error) {
+	m, err := p.net.RecvCtrl(p.rank)
+	if err != nil {
+		return Message{}, err
+	}
+	if err := p.syncTo(m.ArriveV); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// PollMarker removes a leading marker from the inbound (from, rank)
+// channel, if one is at the head (protocol halt drains — the process is
+// virtually idle, so the clock advances to the marker's arrival; a
+// virtual-time crash cannot trigger here, the application already halted).
+func (p *Proc) PollMarker(from int) (Message, bool) {
+	m, ok := p.net.PollMarker(from, p.rank, math.Inf(1))
+	if ok && p.time != nil && m.ArriveV > p.vtime {
+		p.vtime = m.ArriveV
+	}
+	return m, ok
+}
+
+// pollHorizon bounds opportunistic polling to messages that have virtually
+// arrived.
+func (p *Proc) pollHorizon() float64 {
+	if p.time == nil {
+		return math.Inf(1)
+	}
+	return p.vtime
+}
+
+// run executes the program until halt, failure, or abort.
+func (p *Proc) run() error {
+	for {
+		if p.steps >= p.maxSteps {
+			return fmt.Errorf("%w: process %d after %d steps", ErrStepBudget, p.rank, p.steps)
+		}
+		p.steps++
+
+		// Out-of-band control and stray markers are served between
+		// instructions so protocols make progress even on channels the
+		// application never receives from.
+		p.atBoundary = true
+		if p.jitter != nil && p.jitter.Intn(4) == 0 {
+			for y := p.jitter.Intn(3); y >= 0; y-- {
+				runtime.Gosched()
+			}
+		}
+		horizon := p.pollHorizon()
+		for {
+			m, ok := p.net.PollCtrl(p.rank, horizon)
+			if !ok {
+				break
+			}
+			if err := p.hooks.OnCtrl(p, m); err != nil {
+				return err
+			}
+		}
+		for from := 0; from < p.n; from++ {
+			if from == p.rank {
+				continue
+			}
+			if m, ok := p.net.PollMarker(from, p.rank, horizon); ok {
+				if err := p.hooks.OnMarker(p, m); err != nil {
+					return err
+				}
+			}
+		}
+		if err := p.hooks.OnStep(p); err != nil {
+			return err
+		}
+		p.atBoundary = false
+
+		in := p.code.Instrs[p.pc]
+		switch in.Op {
+		case OpAssign:
+			v, err := mpl.Eval(in.Expr, p.env)
+			if err != nil {
+				return p.evalErr(in, err)
+			}
+			p.env.Vars[in.Var] = v
+			if p.time != nil {
+				if err := p.advance(p.time.Compute); err != nil {
+					return err
+				}
+			}
+			p.clock.Tick(p.rank)
+			if err := p.record(trace.Event{Kind: trace.KindCompute, Label: in.Var + "="}); err != nil {
+				return err
+			}
+			p.pc++
+		case OpWork:
+			if p.workLeft < 0 {
+				units, err := mpl.Eval(in.Expr, p.env)
+				if err != nil {
+					return p.evalErr(in, err)
+				}
+				if units < 1 {
+					units = 1
+				}
+				p.workLeft = units
+				p.workQuantum = units/workSlices + 1
+			}
+			if p.time != nil {
+				chunk := p.workQuantum
+				if chunk > p.workLeft {
+					chunk = p.workLeft
+				}
+				if err := p.advance(float64(chunk) * p.time.Compute); err != nil {
+					return err
+				}
+				p.workLeft -= chunk
+			} else {
+				p.workLeft = 0
+			}
+			if p.workLeft > 0 {
+				continue // preemption point: re-poll at the loop top
+			}
+			p.workLeft = -1
+			p.clock.Tick(p.rank)
+			if err := p.record(trace.Event{Kind: trace.KindCompute, Label: "work"}); err != nil {
+				return err
+			}
+			p.pc++
+		case OpSend:
+			dest, err := mpl.Eval(in.Expr, p.env)
+			if err != nil {
+				return p.evalErr(in, err)
+			}
+			if dest >= 0 && dest < p.n && dest != p.rank {
+				if err := p.sendApp(dest, p.env.Vars[in.Var]); err != nil {
+					return err
+				}
+			}
+			p.pc++
+		case OpRecv:
+			src, err := mpl.Eval(in.Expr, p.env)
+			if err != nil {
+				return p.evalErr(in, err)
+			}
+			if src >= 0 && src < p.n && src != p.rank {
+				if err := p.recvApp(src, in.Var); err != nil {
+					return err
+				}
+			}
+			p.pc++
+		case OpBcast:
+			root, err := mpl.Eval(in.Expr, p.env)
+			if err != nil {
+				return p.evalErr(in, err)
+			}
+			if root < 0 || root >= p.n {
+				return fmt.Errorf("sim: process %d: bcast root %d out of range", p.rank, root)
+			}
+			if p.rank == root {
+				val := p.env.Vars[in.Var]
+				for q := 0; q < p.n; q++ {
+					if q == p.rank {
+						continue
+					}
+					if err := p.sendApp(q, val); err != nil {
+						return err
+					}
+				}
+			} else {
+				if err := p.recvApp(root, in.Var); err != nil {
+					return err
+				}
+			}
+			p.pc++
+		case OpReduce:
+			root, err := mpl.Eval(in.Expr, p.env)
+			if err != nil {
+				return p.evalErr(in, err)
+			}
+			if root < 0 || root >= p.n {
+				return fmt.Errorf("sim: process %d: reduce root %d out of range", p.rank, root)
+			}
+			if p.rank == root {
+				// Gather contributions in rank order (deterministic) and
+				// accumulate into the root's own value. The temp buffer
+				// name contains '$' so it can never collide with a
+				// program identifier.
+				sum := p.env.Vars[in.Var]
+				for q := 0; q < p.n; q++ {
+					if q == p.rank {
+						continue
+					}
+					if err := p.recvApp(q, reduceTmpVar); err != nil {
+						return err
+					}
+					sum += p.env.Vars[reduceTmpVar]
+				}
+				delete(p.env.Vars, reduceTmpVar)
+				p.env.Vars[in.Var] = sum
+			} else {
+				if err := p.sendApp(root, p.env.Vars[in.Var]); err != nil {
+					return err
+				}
+			}
+			p.pc++
+		case OpChkpt:
+			take, err := p.hooks.AtChkptStmt(p, in.Index)
+			if err != nil {
+				return err
+			}
+			if take {
+				if err := p.TakeCheckpoint(in.Index); err != nil {
+					return err
+				}
+			}
+			p.pc++
+		case OpJump:
+			p.pc = in.Target
+		case OpBranchFalse:
+			ok, err := mpl.Truthy(in.Expr, p.env)
+			if err != nil {
+				return p.evalErr(in, err)
+			}
+			if ok {
+				p.pc++
+			} else {
+				p.pc = in.Target
+			}
+		case OpHalt:
+			return p.hooks.OnHalt(p)
+		default:
+			return fmt.Errorf("sim: process %d: unknown opcode %v", p.rank, in.Op)
+		}
+	}
+}
+
+func (p *Proc) evalErr(in Instr, err error) error {
+	return fmt.Errorf("sim: process %d at pc %d (stmt #%d): %w", p.rank, p.pc, in.StmtID, err)
+}
+
+// sendApp sends one application message to dest.
+func (p *Proc) sendApp(dest, value int) error {
+	seq := p.sendSeq[dest]
+	p.sendSeq[dest] = seq + 1
+	p.clock.Tick(p.rank)
+	arrive, err := p.chargeSend()
+	if err != nil {
+		return err
+	}
+	m := Message{
+		Kind:      MsgApp,
+		From:      p.rank,
+		To:        dest,
+		Seq:       seq,
+		Value:     value,
+		Clock:     p.clock.Clone(),
+		Piggyback: p.hooks.BeforeSend(p, dest),
+		ArriveV:   arrive,
+	}
+	p.net.Send(m)
+	p.counters.IncAppMessages(1)
+	return p.record(trace.Event{
+		Kind: trace.KindSend,
+		Msg:  trace.MessageID{From: p.rank, To: dest, Seq: seq},
+		Peer: dest,
+	})
+}
+
+// recvApp blocks for the next application message from src, serving any
+// in-band markers that arrive first.
+func (p *Proc) recvApp(src int, varName string) error {
+	p.midRecv = true
+	defer func() { p.midRecv = false }()
+	for {
+		m, err := p.net.Recv(src, p.rank)
+		if err != nil {
+			return err
+		}
+		if err := p.syncTo(m.ArriveV); err != nil {
+			return err
+		}
+		if m.Kind == MsgMarker {
+			if err := p.hooks.OnMarker(p, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if m.Seq != p.recvSeq[src] {
+			return fmt.Errorf("sim: process %d: FIFO violation from %d: seq %d, want %d",
+				p.rank, src, m.Seq, p.recvSeq[src])
+		}
+		// The message is not yet delivered: forced checkpoints taken here
+		// exclude it, and a restore re-executes this receive (the message
+		// is re-injected as channel state).
+		if err := p.hooks.BeforeDeliver(p, m); err != nil {
+			return err
+		}
+		p.recvSeq[src] = m.Seq + 1
+		p.env.Vars[varName] = m.Value
+		p.clock.Tick(p.rank)
+		p.clock.Merge(m.Clock)
+		if err := p.record(trace.Event{
+			Kind: trace.KindRecv,
+			Msg:  trace.MessageID{From: src, To: p.rank, Seq: m.Seq},
+			Peer: src,
+		}); err != nil {
+			return err
+		}
+		p.midRecv = false
+		return p.hooks.AfterRecv(p, m)
+	}
+}

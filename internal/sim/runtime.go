@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mpl"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Failure schedules an injected crash: in the incarnation it applies to,
+// process Proc fails after recording AfterEvents local events. The
+// runtime then aborts the incarnation, chooses a recovery line, rolls the
+// whole application back, and resumes — the global-restart model of the
+// paper's coordination-free scheme.
+type Failure struct {
+	Proc        int
+	AfterEvents int
+}
+
+// RecoveryFunc chooses the recovery line after a failure. The default is
+// recovery.StraightCut. Returning recovery.ErrNoRecoveryLine restarts the
+// application from its initial state.
+type RecoveryFunc func(st storage.Store, n int) (*recovery.Line, error)
+
+// Config configures a run.
+type Config struct {
+	Program *mpl.Program
+	Nproc   int
+	// Hooks builds the per-process protocol; nil runs the coordination-free
+	// application-driven scheme.
+	Hooks HooksFactory
+	// Store is the stable storage; nil uses a fresh in-memory store.
+	Store storage.Store
+	// Input supplies input(i) data per process; nil makes input(...) an
+	// error.
+	Input func(rank, i int) int
+	// MaxSteps bounds each process's instruction count per incarnation
+	// (default 1 << 20).
+	MaxSteps int
+	// Failures[k] is injected during incarnation k. Incarnations beyond the
+	// list run failure-free.
+	Failures []Failure
+	// Time enables virtual-time accounting with the given cost model.
+	Time *TimeModel
+	// VFailures[k] crashes a process when its virtual clock reaches the
+	// given time during incarnation k (requires Time).
+	VFailures []VFailure
+	// MaxRestarts bounds recovery attempts (default: len(Failures)+1).
+	MaxRestarts int
+	// Recover chooses the recovery line (default recovery.StraightCut).
+	Recover RecoveryFunc
+	// DisableTrace skips event recording (benchmarks).
+	DisableTrace bool
+	// Timeout aborts a deadlocked incarnation (default 30s). Programs with
+	// mismatched sends/receives otherwise block forever.
+	Timeout time.Duration
+	// Jitter perturbs the goroutine schedule with a seeded random yield
+	// pattern at instruction boundaries. Different seeds explore different
+	// real-time interleavings (marker arrival orders, poll timings);
+	// results of deterministic programs must not change — which is exactly
+	// what schedule-sweep tests assert. 0 disables jitter.
+	Jitter int64
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Trace records the FINAL incarnation's events (earlier incarnations
+	// are rolled back; their surviving effects live in the checkpoints).
+	Trace *trace.Trace
+	// FinalVars is each process's variable state at halt.
+	FinalVars []map[string]int
+	// Metrics are the accumulated counters across all incarnations.
+	Metrics metrics.Snapshot
+	// Restarts is the number of recoveries performed.
+	Restarts int
+	// RolledBack accumulates recovery.Line.Rollbacks over all restarts
+	// (domino measure for uncoordinated recovery).
+	RolledBack int
+	// Store is the stable storage after the run.
+	Store storage.Store
+	// VTimes are the per-process virtual clocks at completion (only with
+	// Config.Time); VTime is their maximum — the application's makespan.
+	VTimes []float64
+	VTime  float64
+}
+
+// Run executes the program to completion under the configured protocol and
+// failure schedule.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Program == nil || cfg.Nproc <= 0 {
+		return nil, errors.New("sim: Config requires Program and positive Nproc")
+	}
+	code, err := Compile(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	hooksFactory := cfg.Hooks
+	if hooksFactory == nil {
+		hooksFactory = NoProtocol
+	}
+	st := cfg.Store
+	if st == nil {
+		st = storage.NewMemory()
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = len(cfg.Failures) + 1
+	}
+	chooseLine := cfg.Recover
+	if chooseLine == nil {
+		chooseLine = recovery.StraightCut
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	n := cfg.Nproc
+	net := NewNetwork(n)
+	counters := &metrics.Counters{}
+	res := &Result{Store: st}
+
+	var line *recovery.Line // nil = start from scratch
+	var restartV float64    // wall (virtual) time at which the restart begins
+	for incarnation := 0; ; incarnation++ {
+		var tr *trace.Trace
+		if !cfg.DisableTrace {
+			tr = trace.NewTrace(n)
+		}
+		failAfter := make([]int, n)
+		vfailAt := make([]float64, n)
+		for p := range failAfter {
+			failAfter[p] = -1
+			vfailAt[p] = -1
+		}
+		if incarnation < len(cfg.Failures) {
+			f := cfg.Failures[incarnation]
+			if f.Proc < 0 || f.Proc >= n {
+				return nil, fmt.Errorf("sim: failure names process %d of %d", f.Proc, n)
+			}
+			failAfter[f.Proc] = f.AfterEvents
+		}
+		if incarnation < len(cfg.VFailures) {
+			f := cfg.VFailures[incarnation]
+			if f.Proc < 0 || f.Proc >= n {
+				return nil, fmt.Errorf("sim: vfailure names process %d of %d", f.Proc, n)
+			}
+			if cfg.Time == nil {
+				return nil, errors.New("sim: VFailures require Config.Time")
+			}
+			vfailAt[f.Proc] = f.At
+		}
+
+		procs := make([]*Proc, n)
+		for r := 0; r < n; r++ {
+			procs[r] = newProc(r, code, net, tr, st, counters, hooksFactory(r, n),
+				cfg.Input, maxSteps, failAfter[r], cfg.Time, vfailAt[r])
+			if cfg.Jitter != 0 {
+				procs[r].jitter = rand.New(rand.NewSource(cfg.Jitter + int64(r)*7919 + int64(incarnation)))
+			}
+			if line != nil {
+				if err := procs[r].restore(line.Snapshots[r]); err != nil {
+					return nil, err
+				}
+			}
+			if restartV > 0 && procs[r].vtime < restartV {
+				procs[r].vtime = restartV
+			}
+		}
+
+		errs := make(chan error, n)
+		for _, p := range procs {
+			p := p
+			go func() { errs <- p.run() }()
+		}
+		var timedOut atomic.Bool
+		watchdog := time.AfterFunc(timeout, func() {
+			timedOut.Store(true)
+			net.Abort()
+		})
+		var failure error
+		var fatal error
+		for i := 0; i < n; i++ {
+			err := <-errs
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrProcFailed):
+				if failure == nil {
+					failure = err
+					net.Abort() // wake the others; they exit with ErrAborted
+				}
+			case errors.Is(err, ErrAborted):
+				// Collateral of an abort; ignore.
+			default:
+				if fatal == nil {
+					fatal = err
+					net.Abort()
+				}
+			}
+		}
+		watchdog.Stop()
+		if fatal != nil {
+			return nil, fatal
+		}
+		if timedOut.Load() && failure == nil {
+			return nil, fmt.Errorf("sim: deadlock: no progress within %v", timeout)
+		}
+		if failure == nil {
+			// Clean completion.
+			res.Trace = tr
+			res.FinalVars = make([]map[string]int, n)
+			res.VTimes = make([]float64, n)
+			for r, p := range procs {
+				vars := make(map[string]int, len(p.env.Vars))
+				for k, v := range p.env.Vars {
+					vars[k] = v
+				}
+				res.FinalVars[r] = vars
+				res.VTimes[r] = p.vtime
+				if p.vtime > res.VTime {
+					res.VTime = p.vtime
+				}
+			}
+			res.Metrics = counters.Snapshot()
+			return res, nil
+		}
+
+		// Failure path: recover. If virtual time is on, the restart begins
+		// at the wall time the application had reached, plus the recovery
+		// overhead R — lost work is then re-paid by the replay, exactly as
+		// in the §4 model.
+		if cfg.Time != nil {
+			maxV := restartV
+			for _, p := range procs {
+				if p.vtime > maxV {
+					maxV = p.vtime
+				}
+			}
+			restartV = maxV + cfg.Time.Recovery
+		}
+		res.Restarts++
+		counters.IncRollbacks(n)
+		if res.Restarts > maxRestarts {
+			return nil, fmt.Errorf("sim: exceeded %d restarts: %w", maxRestarts, failure)
+		}
+		line, err = chooseLine(st, n)
+		switch {
+		case errors.Is(err, recovery.ErrNoRecoveryLine):
+			line = nil // restart from scratch
+		case err != nil:
+			return nil, err
+		}
+		if line != nil {
+			res.RolledBack += line.Rollbacks
+			if err := pruneStore(st, line); err != nil {
+				return nil, err
+			}
+			sendSeq, recvSeq := seqMatrices(line, n)
+			net.ResetForRecovery(sendSeq, recvSeq)
+		} else {
+			if err := clearStore(st, n); err != nil {
+				return nil, err
+			}
+			zero := make([][]int, n)
+			for i := range zero {
+				zero[i] = make([]int, n)
+			}
+			net.ResetForRecovery(zero, zero)
+		}
+	}
+}
+
+// seqMatrices extracts the per-channel send/receive sequence numbers at
+// the recovery line.
+func seqMatrices(line *recovery.Line, n int) (sendSeq, recvSeq [][]int) {
+	sendSeq = make([][]int, n)
+	recvSeq = make([][]int, n)
+	for p := 0; p < n; p++ {
+		sendSeq[p] = append([]int(nil), line.Snapshots[p].SendSeqs...)
+		recvSeq[p] = append([]int(nil), line.Snapshots[p].RecvSeqs...)
+		if sendSeq[p] == nil {
+			sendSeq[p] = make([]int, n)
+		}
+		if recvSeq[p] == nil {
+			recvSeq[p] = make([]int, n)
+		}
+	}
+	return sendSeq, recvSeq
+}
+
+// pruneStore deletes snapshots taken after the recovery line: the
+// rolled-back execution will regenerate them deterministically. Per
+// process, "after" is decided by the process's own vector-clock component,
+// which orders its local events totally. Deletion runs newest-first so
+// delta-encoded stores (storage.Incremental) can unwind their chains.
+func pruneStore(st storage.Store, line *recovery.Line) error {
+	for p, restore := range line.Snapshots {
+		snaps, err := st.List(p)
+		if err != nil {
+			return err
+		}
+		cutTick := restore.Clock[p]
+		var doomed []storage.Snapshot
+		for _, s := range snaps {
+			if s.Clock[p] > cutTick {
+				doomed = append(doomed, s)
+			}
+		}
+		sort.Slice(doomed, func(i, j int) bool {
+			return doomed[i].Clock[p] > doomed[j].Clock[p]
+		})
+		for _, s := range doomed {
+			if err := st.Delete(p, s.CFGIndex, s.Instance); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// clearStore removes every snapshot (restart from scratch), newest-first
+// per process for delta-encoded stores.
+func clearStore(st storage.Store, n int) error {
+	for p := 0; p < n; p++ {
+		snaps, err := st.List(p)
+		if err != nil {
+			return err
+		}
+		sort.Slice(snaps, func(i, j int) bool {
+			return snaps[i].Clock[p] > snaps[j].Clock[p]
+		})
+		for _, s := range snaps {
+			if err := st.Delete(p, s.CFGIndex, s.Instance); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// File is a durable Store that writes each snapshot as one file under a
+// directory, framed as [4-byte big-endian CRC32][JSON body]. Writes go
+// through a temp file + rename so a crash never leaves a torn snapshot
+// visible, and reads verify the CRC so silent corruption surfaces as an
+// error rather than a bogus restart state.
+type File struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ Store = (*File)(nil)
+
+// NewFile creates (if needed) and opens a file-backed store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	return &File{dir: dir}, nil
+}
+
+func (f *File) path(proc, index, instance int) string {
+	name := fmt.Sprintf("p%d_i%d_k%d.ckpt", proc, index, instance)
+	return filepath.Join(f.dir, name)
+}
+
+// parseName inverts path naming; ok=false for foreign files.
+func parseName(name string) (proc, index, instance int, ok bool) {
+	base := strings.TrimSuffix(name, ".ckpt")
+	if base == name {
+		return 0, 0, 0, false
+	}
+	parts := strings.Split(base, "_")
+	if len(parts) != 3 {
+		return 0, 0, 0, false
+	}
+	vals := make([]int, 3)
+	for i, prefix := range []string{"p", "i", "k"} {
+		s := strings.TrimPrefix(parts[i], prefix)
+		if s == parts[i] {
+			return 0, 0, 0, false
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], true
+}
+
+// Save implements Store.
+func (f *File) Save(s Snapshot) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	path := f.path(s.Proc, s.CFGIndex, s.Instance)
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("%w: %s", ErrDuplicate, filepath.Base(path))
+	}
+	body, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("storage: encode snapshot: %w", err)
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], crc32.ChecksumIEEE(body))
+	copy(frame[4:], body)
+
+	tmp, err := os.CreateTemp(f.dir, ".tmp-ckpt-*")
+	if err != nil {
+		return fmt.Errorf("storage: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+func (f *File) load(path string) (Snapshot, error) {
+	frame, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, filepath.Base(path))
+		}
+		return Snapshot{}, fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	if len(frame) < 4 {
+		return Snapshot{}, fmt.Errorf("storage: snapshot %s truncated", filepath.Base(path))
+	}
+	want := binary.BigEndian.Uint32(frame[:4])
+	body := frame[4:]
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return Snapshot{}, fmt.Errorf("storage: snapshot %s corrupt: crc %08x != %08x",
+			filepath.Base(path), got, want)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("storage: decode snapshot %s: %w", filepath.Base(path), err)
+	}
+	return s, nil
+}
+
+// Get implements Store.
+func (f *File) Get(proc, cfgIndex, instance int) (Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.load(f.path(proc, cfgIndex, instance))
+}
+
+// Latest implements Store.
+func (f *File) Latest(proc, cfgIndex int) (Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("storage: list dir: %w", err)
+	}
+	best := -1
+	for _, e := range entries {
+		p, i, k, ok := parseName(e.Name())
+		if ok && p == proc && i == cfgIndex && k > best {
+			best = k
+		}
+	}
+	if best < 0 {
+		return Snapshot{}, fmt.Errorf("%w: proc=%d index=%d", ErrNotFound, proc, cfgIndex)
+	}
+	return f.load(f.path(proc, cfgIndex, best))
+}
+
+// List implements Store.
+func (f *File) List(proc int) ([]Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: list dir: %w", err)
+	}
+	type pi struct{ index, instance int }
+	var keys []pi
+	for _, e := range entries {
+		p, i, k, ok := parseName(e.Name())
+		if ok && p == proc {
+			keys = append(keys, pi{i, k})
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].index != keys[b].index {
+			return keys[a].index < keys[b].index
+		}
+		return keys[a].instance < keys[b].instance
+	})
+	out := make([]Snapshot, 0, len(keys))
+	for _, k := range keys {
+		s, err := f.load(f.path(proc, k.index, k.instance))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Delete implements Store.
+func (f *File) Delete(proc, cfgIndex, instance int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	path := f.path(proc, cfgIndex, instance)
+	if err := os.Remove(path); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrNotFound, filepath.Base(path))
+		}
+		return fmt.Errorf("storage: delete snapshot: %w", err)
+	}
+	return nil
+}
+
+// Indexes implements Store.
+func (f *File) Indexes(n int) ([]int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: list dir: %w", err)
+	}
+	count := make(map[int]map[int]bool)
+	for _, e := range entries {
+		p, i, _, ok := parseName(e.Name())
+		if !ok {
+			continue
+		}
+		if count[i] == nil {
+			count[i] = make(map[int]bool)
+		}
+		count[i][p] = true
+	}
+	var out []int
+	for idx, procs := range count {
+		if len(procs) == n {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Incremental is a Store that saves most snapshots as deltas against the
+// process's previous checkpoint — the classic incremental-checkpointing
+// optimization the paper's related work surveys (compiler-assisted
+// checkpointing can identify what changed; here the store diffs the
+// variable maps). Every FullEvery-th snapshot per process is stored in
+// full to bound reconstruction chains. Readers always receive fully
+// reconstructed snapshots; the delta encoding is invisible outside.
+type Incremental struct {
+	mu sync.Mutex
+	// FullEvery is the full-snapshot period (default 8 when 0).
+	fullEvery int
+	// recs holds the raw records in per-process temporal order.
+	recs map[int][]record
+	// byKey indexes records by (proc, index, instance).
+	byKey map[key]int // position within recs[proc]
+
+	fullBytes  int
+	deltaBytes int
+}
+
+// record is one stored checkpoint, possibly a delta.
+type record struct {
+	snap  Snapshot // for deltas, Vars holds only changed/new variables
+	delta bool
+	// removedVars lists variables that disappeared relative to the base
+	// (MPL variables never disappear, but the store does not rely on
+	// that).
+	removedVars []string
+}
+
+var _ Store = (*Incremental)(nil)
+
+// NewIncremental creates an incremental store. fullEvery <= 0 selects the
+// default period of 8.
+func NewIncremental(fullEvery int) *Incremental {
+	if fullEvery <= 0 {
+		fullEvery = 8
+	}
+	return &Incremental{
+		fullEvery: fullEvery,
+		recs:      make(map[int][]record),
+		byKey:     make(map[key]int),
+	}
+}
+
+// Save implements Store.
+func (inc *Incremental) Save(s Snapshot) error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	k := key{s.Proc, s.CFGIndex, s.Instance}
+	if _, dup := inc.byKey[k]; dup {
+		return fmt.Errorf("%w: proc=%d index=%d instance=%d", ErrDuplicate, s.Proc, s.CFGIndex, s.Instance)
+	}
+	chain := inc.recs[s.Proc]
+	full := len(chain)%inc.fullEvery == 0
+	rec := record{snap: s.clone()}
+	if full || len(chain) == 0 {
+		inc.fullBytes += approxSize(rec.snap.Vars)
+	} else {
+		// Delta against the previous record's reconstructed state.
+		prev := inc.reconstructLocked(s.Proc, len(chain)-1)
+		deltaVars := make(map[string]int)
+		for name, v := range s.Vars {
+			if pv, ok := prev.Vars[name]; !ok || pv != v {
+				deltaVars[name] = v
+			}
+		}
+		for name := range prev.Vars {
+			if _, ok := s.Vars[name]; !ok {
+				rec.removedVars = append(rec.removedVars, name)
+			}
+		}
+		rec.delta = true
+		rec.snap.Vars = deltaVars
+		inc.deltaBytes += approxSize(deltaVars)
+	}
+	inc.byKey[k] = len(chain)
+	inc.recs[s.Proc] = append(chain, rec)
+	return nil
+}
+
+// reconstructLocked rebuilds the full snapshot at position pos of proc's
+// chain by replaying deltas from the nearest full record.
+func (inc *Incremental) reconstructLocked(proc, pos int) Snapshot {
+	chain := inc.recs[proc]
+	start := pos
+	for start > 0 && chain[start].delta {
+		start--
+	}
+	out := chain[start].snap.clone()
+	for i := start + 1; i <= pos; i++ {
+		r := chain[i]
+		// Non-Vars fields always come from the target record.
+		vars := out.Vars
+		out = r.snap.clone()
+		merged := make(map[string]int, len(vars)+len(out.Vars))
+		for k, v := range vars {
+			merged[k] = v
+		}
+		for k, v := range r.snap.Vars {
+			merged[k] = v
+		}
+		for _, k := range r.removedVars {
+			delete(merged, k)
+		}
+		out.Vars = merged
+	}
+	return out
+}
+
+// Get implements Store.
+func (inc *Incremental) Get(proc, cfgIndex, instance int) (Snapshot, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	pos, ok := inc.byKey[key{proc, cfgIndex, instance}]
+	if !ok {
+		return Snapshot{}, fmt.Errorf("%w: proc=%d index=%d instance=%d", ErrNotFound, proc, cfgIndex, instance)
+	}
+	return inc.reconstructLocked(proc, pos), nil
+}
+
+// Latest implements Store.
+func (inc *Incremental) Latest(proc, cfgIndex int) (Snapshot, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	best := -1
+	bestInst := -1
+	for k, pos := range inc.byKey {
+		if k.proc == proc && k.index == cfgIndex && k.instance > bestInst {
+			bestInst = k.instance
+			best = pos
+		}
+	}
+	if best < 0 {
+		return Snapshot{}, fmt.Errorf("%w: proc=%d index=%d", ErrNotFound, proc, cfgIndex)
+	}
+	return inc.reconstructLocked(proc, best), nil
+}
+
+// List implements Store.
+func (inc *Incremental) List(proc int) ([]Snapshot, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	chain := inc.recs[proc]
+	out := make([]Snapshot, 0, len(chain))
+	for pos := range chain {
+		out = append(out, inc.reconstructLocked(proc, pos))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CFGIndex != out[j].CFGIndex {
+			return out[i].CFGIndex < out[j].CFGIndex
+		}
+		return out[i].Instance < out[j].Instance
+	})
+	return out, nil
+}
+
+// Indexes implements Store.
+func (inc *Incremental) Indexes(n int) ([]int, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	count := make(map[int]map[int]bool)
+	for k := range inc.byKey {
+		if count[k.index] == nil {
+			count[k.index] = make(map[int]bool)
+		}
+		count[k.index][k.proc] = true
+	}
+	var out []int
+	for idx, procs := range count {
+		if len(procs) == n {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Delete implements Store. Only the TAIL of a process's chain can be
+// deleted (rollback pruning deletes newest-first), because removing an
+// interior delta would corrupt later reconstructions.
+func (inc *Incremental) Delete(proc, cfgIndex, instance int) error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	k := key{proc, cfgIndex, instance}
+	pos, ok := inc.byKey[k]
+	if !ok {
+		return fmt.Errorf("%w: proc=%d index=%d instance=%d", ErrNotFound, proc, cfgIndex, instance)
+	}
+	chain := inc.recs[proc]
+	if pos != len(chain)-1 {
+		return fmt.Errorf("storage: incremental delete must be newest-first: record %d of %d", pos, len(chain))
+	}
+	inc.recs[proc] = chain[:pos]
+	delete(inc.byKey, k)
+	return nil
+}
+
+// SizeStats reports the approximate stored variable-map bytes, full vs
+// delta — the savings incremental checkpointing exists for.
+type SizeStats struct {
+	FullBytes  int
+	DeltaBytes int
+}
+
+// Stats returns the accumulated size statistics.
+func (inc *Incremental) Stats() SizeStats {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return SizeStats{FullBytes: inc.fullBytes, DeltaBytes: inc.deltaBytes}
+}
+
+// approxSize estimates the serialized size of a variable map (names plus
+// 8-byte values).
+func approxSize(vars map[string]int) int {
+	n := 0
+	for name := range vars {
+		n += len(name) + 8
+	}
+	return n
+}

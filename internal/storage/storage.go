@@ -1,0 +1,210 @@
+// Package storage provides the stable-storage abstraction that
+// checkpointing protocols write checkpoints to and restart reads them from.
+// Two implementations are provided: a concurrency-safe in-memory store used
+// by the simulator and tests, and a file-backed store with CRC integrity
+// verification for durable use. Both index checkpoints by (process,
+// CFG checkpoint index, instance) exactly as the paper's Definition 2.3
+// requires so that the straight cut R_i — the latest i-th checkpoint of
+// every process — can be recovered after a failure.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Snapshot is the saved state of one process at one checkpoint.
+type Snapshot struct {
+	Proc     int            `json:"proc"`
+	CFGIndex int            `json:"cfgIndex"` // the i of C_{p,i}
+	Instance int            `json:"instance"` // invocation count of the statement
+	Clock    vclock.VC      `json:"clock"`    // vector clock at checkpoint time
+	Vars     map[string]int `json:"vars"`     // process variable state
+	PC       string         `json:"pc"`       // resume label (statement id)
+	// SendSeqs / RecvSeqs record per-peer channel sequence numbers so that a
+	// restarted process resumes FIFO numbering correctly.
+	SendSeqs []int `json:"sendSeqs"`
+	RecvSeqs []int `json:"recvSeqs"`
+	// Instances records the per-index checkpoint instance counters at
+	// checkpoint time, so a restarted process numbers subsequent
+	// checkpoints correctly.
+	Instances map[int]int `json:"instances,omitempty"`
+	// VTime is the process's virtual clock at checkpoint time (0 when
+	// virtual-time accounting is off).
+	VTime float64 `json:"vtime,omitempty"`
+}
+
+// clone returns a deep copy so stores never alias caller memory.
+func (s Snapshot) clone() Snapshot {
+	c := s
+	c.Clock = s.Clock.Clone()
+	if s.Vars != nil {
+		c.Vars = make(map[string]int, len(s.Vars))
+		for k, v := range s.Vars {
+			c.Vars[k] = v
+		}
+	}
+	if s.SendSeqs != nil {
+		c.SendSeqs = append([]int(nil), s.SendSeqs...)
+	}
+	if s.RecvSeqs != nil {
+		c.RecvSeqs = append([]int(nil), s.RecvSeqs...)
+	}
+	if s.Instances != nil {
+		c.Instances = make(map[int]int, len(s.Instances))
+		for k, v := range s.Instances {
+			c.Instances[k] = v
+		}
+	}
+	return c
+}
+
+// Store is the stable-storage interface used by the runtime and the
+// recovery machinery.
+type Store interface {
+	// Save persists one snapshot. Saving the same (proc, index, instance)
+	// twice is an error: checkpoints are immutable once taken.
+	Save(s Snapshot) error
+	// Latest returns the snapshot with the highest instance for
+	// (proc, cfgIndex), or ErrNotFound.
+	Latest(proc, cfgIndex int) (Snapshot, error)
+	// Get returns the exact snapshot, or ErrNotFound.
+	Get(proc, cfgIndex, instance int) (Snapshot, error)
+	// List returns all snapshots of proc ordered by (cfgIndex, instance).
+	List(proc int) ([]Snapshot, error)
+	// Indexes returns the sorted CFG checkpoint indexes for which EVERY one
+	// of the n processes has at least one snapshot — the candidate straight
+	// cuts.
+	Indexes(n int) ([]int, error)
+	// Delete removes one snapshot. Deleting a missing snapshot is an
+	// error. Rollback recovery uses Delete to garbage-collect checkpoints
+	// taken after the recovery line (they belong to the rolled-back
+	// execution and would collide with deterministic re-execution).
+	Delete(proc, cfgIndex, instance int) error
+}
+
+// ErrNotFound reports a missing snapshot.
+var ErrNotFound = errors.New("storage: snapshot not found")
+
+// ErrDuplicate reports an attempt to overwrite an existing checkpoint.
+var ErrDuplicate = errors.New("storage: snapshot already exists")
+
+type key struct{ proc, index, instance int }
+
+// Memory is an in-memory Store safe for concurrent use. The zero value is
+// ready to use.
+type Memory struct {
+	mu    sync.Mutex
+	snaps map[key]Snapshot
+}
+
+var _ Store = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory { return &Memory{} }
+
+// Save implements Store.
+func (m *Memory) Save(s Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snaps == nil {
+		m.snaps = make(map[key]Snapshot)
+	}
+	k := key{s.Proc, s.CFGIndex, s.Instance}
+	if _, ok := m.snaps[k]; ok {
+		return fmt.Errorf("%w: proc=%d index=%d instance=%d", ErrDuplicate, s.Proc, s.CFGIndex, s.Instance)
+	}
+	m.snaps[k] = s.clone()
+	return nil
+}
+
+// Latest implements Store.
+func (m *Memory) Latest(proc, cfgIndex int) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best, found := Snapshot{}, false
+	for k, s := range m.snaps {
+		if k.proc == proc && k.index == cfgIndex && (!found || k.instance > best.Instance) {
+			best, found = s, true
+		}
+	}
+	if !found {
+		return Snapshot{}, fmt.Errorf("%w: proc=%d index=%d", ErrNotFound, proc, cfgIndex)
+	}
+	return best.clone(), nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(proc, cfgIndex, instance int) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[key{proc, cfgIndex, instance}]
+	if !ok {
+		return Snapshot{}, fmt.Errorf("%w: proc=%d index=%d instance=%d", ErrNotFound, proc, cfgIndex, instance)
+	}
+	return s.clone(), nil
+}
+
+// List implements Store.
+func (m *Memory) List(proc int) ([]Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Snapshot
+	for k, s := range m.snaps {
+		if k.proc == proc {
+			out = append(out, s.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CFGIndex != out[j].CFGIndex {
+			return out[i].CFGIndex < out[j].CFGIndex
+		}
+		return out[i].Instance < out[j].Instance
+	})
+	return out, nil
+}
+
+// Indexes implements Store.
+func (m *Memory) Indexes(n int) ([]int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// count[index] = set of procs having it.
+	count := make(map[int]map[int]bool)
+	for k := range m.snaps {
+		if count[k.index] == nil {
+			count[k.index] = make(map[int]bool)
+		}
+		count[k.index][k.proc] = true
+	}
+	var out []int
+	for idx, procs := range count {
+		if len(procs) == n {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(proc, cfgIndex, instance int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{proc, cfgIndex, instance}
+	if _, ok := m.snaps[k]; !ok {
+		return fmt.Errorf("%w: proc=%d index=%d instance=%d", ErrNotFound, proc, cfgIndex, instance)
+	}
+	delete(m.snaps, k)
+	return nil
+}
+
+// Len returns the number of stored snapshots.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.snaps)
+}

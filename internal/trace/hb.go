@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// HB computes the happened-before relation of a finished trace directly from
+// its structure: the transitive closure of process order and send→recv
+// pairs (Lamport's definition, §2 of the paper). It is deliberately
+// independent of the vector clocks stamped during execution so the two can
+// cross-check each other.
+type HB struct {
+	n      int
+	events [][]Event
+	// sendOf maps a message id to the (proc, seq) of its send event.
+	sendOf map[MessageID][2]int
+	// reach[p][s] is, per peer process q, the minimal seq of an event of q
+	// reachable from event (p, s). A value of len(events[q]) means none.
+	reach [][][]int
+}
+
+// NewHB snapshots the trace and precomputes reachability. The cost is
+// O(n · totalEvents) space and time, fine for verification workloads.
+func NewHB(t *Trace) (*HB, error) {
+	events := t.Events()
+	h := &HB{
+		n:      t.N(),
+		events: events,
+		sendOf: make(map[MessageID][2]int),
+	}
+	for p, hist := range events {
+		for s, e := range hist {
+			if e.Kind == KindSend {
+				if _, dup := h.sendOf[e.Msg]; dup {
+					return nil, fmt.Errorf("trace: duplicate send of message %+v", e.Msg)
+				}
+				h.sendOf[e.Msg] = [2]int{p, s}
+			}
+		}
+	}
+	h.computeReach()
+	return h, nil
+}
+
+// computeReach walks each local history backwards. For event (p,s), the set
+// of reachable peer events is the union of what the next local event
+// reaches and, if (p,s) is a send, what the matching recv reaches — plus the
+// recv itself.
+func (h *HB) computeReach() {
+	// recvAt maps message id -> (proc, seq) of the receive event.
+	recvAt := make(map[MessageID][2]int)
+	for p, hist := range h.events {
+		for s, e := range hist {
+			if e.Kind == KindRecv {
+				recvAt[e.Msg] = [2]int{p, s}
+			}
+		}
+	}
+
+	h.reach = make([][][]int, h.n)
+	for p := range h.events {
+		h.reach[p] = make([][]int, len(h.events[p]))
+	}
+
+	// Process events in reverse global topological order. Because message
+	// edges can go both ways between processes, a single backwards pass per
+	// process is not enough; iterate to a fixpoint. Histories are short in
+	// verification runs, so the simple approach is fine.
+	none := func(q int) int { return len(h.events[q]) }
+	newRow := func() []int {
+		row := make([]int, h.n)
+		for q := range row {
+			row[q] = none(q)
+		}
+		return row
+	}
+	for p := range h.events {
+		for s := range h.events[p] {
+			h.reach[p][s] = newRow()
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for p := range h.events {
+			for s := len(h.events[p]) - 1; s >= 0; s-- {
+				row := h.reach[p][s]
+				merge := func(q, seq int) {
+					if seq < row[q] {
+						row[q] = seq
+						changed = true
+					}
+				}
+				// Local successor.
+				if s+1 < len(h.events[p]) {
+					merge(p, s+1)
+					for q, seq := range h.reach[p][s+1] {
+						merge(q, seq)
+					}
+				}
+				// Message edge.
+				if h.events[p][s].Kind == KindSend {
+					if rv, ok := recvAt[h.events[p][s].Msg]; ok {
+						merge(rv[0], rv[1])
+						for q, seq := range h.reach[rv[0]][rv[1]] {
+							merge(q, seq)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Before reports whether event (p1,s1) happened before event (p2,s2).
+func (h *HB) Before(p1, s1, p2, s2 int) bool {
+	if p1 == p2 {
+		return s1 < s2
+	}
+	if s1 >= len(h.events[p1]) || s2 >= len(h.events[p2]) {
+		return false
+	}
+	return h.reach[p1][s1][p2] <= s2
+}
+
+// CutConsistentStructural decides Definition 2.1 with the structural
+// happened-before relation rather than vector clocks.
+func (h *HB) CutConsistentStructural(cut Cut) bool {
+	for i := range cut {
+		for j := range cut {
+			if i == j {
+				continue
+			}
+			if h.Before(cut[i].Proc, cut[i].EventSeq, cut[j].Proc, cut[j].EventSeq) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CutConsistentByMessages decides consistency with the classic orphan-message
+// criterion: the cut is inconsistent iff some message is received at or
+// before the cut at its receiver but sent after the cut at its sender. For
+// cuts of checkpoints this is equivalent to Definition 2.1; having a third
+// formulation strengthens the cross-checks in tests.
+func (h *HB) CutConsistentByMessages(cut Cut) bool {
+	frontier := make([]int, h.n)
+	for q := range frontier {
+		frontier[q] = -1
+	}
+	for _, cp := range cut {
+		frontier[cp.Proc] = cp.EventSeq
+	}
+	for p, hist := range h.events {
+		for s, e := range hist {
+			if e.Kind != KindRecv || s > frontier[p] {
+				continue
+			}
+			send, ok := h.sendOf[e.Msg]
+			if !ok {
+				// Unmatched receive: treat as inconsistent evidence.
+				return false
+			}
+			if send[1] > frontier[send[0]] {
+				return false // orphan message
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks structural well-formedness of the trace: every receive has
+// a matching send, no message is received twice, and per-channel receives
+// respect FIFO order of the sends.
+func Validate(t *Trace) error {
+	events := t.Events()
+	sends := make(map[MessageID]bool)
+	for _, hist := range events {
+		for _, e := range hist {
+			if e.Kind == KindSend {
+				if sends[e.Msg] {
+					return fmt.Errorf("trace: message %+v sent twice", e.Msg)
+				}
+				sends[e.Msg] = true
+			}
+		}
+	}
+	recvd := make(map[MessageID]bool)
+	// lastSeq tracks, per (from,to) channel, the last received per-channel
+	// sequence number to verify FIFO delivery.
+	type channel struct{ from, to int }
+	lastSeq := make(map[channel]int)
+	for to, hist := range events {
+		for _, e := range hist {
+			if e.Kind != KindRecv {
+				continue
+			}
+			if !sends[e.Msg] {
+				return fmt.Errorf("trace: process %d received unsent message %+v", to, e.Msg)
+			}
+			if recvd[e.Msg] {
+				return fmt.Errorf("trace: message %+v received twice", e.Msg)
+			}
+			recvd[e.Msg] = true
+			ch := channel{from: e.Msg.From, to: e.Msg.To}
+			if last, ok := lastSeq[ch]; ok && e.Msg.Seq <= last {
+				return fmt.Errorf("trace: FIFO violation on channel %d->%d: seq %d after %d",
+					ch.from, ch.to, e.Msg.Seq, last)
+			}
+			lastSeq[ch] = e.Msg.Seq
+		}
+	}
+	return nil
+}
+
+// CheckClockConsistency verifies that the vector clocks recorded in the
+// trace agree with the structural happened-before relation on every event
+// pair. Used in tests to cross-check the runtime's clock stamping.
+func (h *HB) CheckClockConsistency() error {
+	for p1, h1 := range h.events {
+		for s1, e1 := range h1 {
+			for p2, h2 := range h.events {
+				for s2, e2 := range h2 {
+					if p1 == p2 && s1 == s2 {
+						continue
+					}
+					structural := h.Before(p1, s1, p2, s2)
+					clocked := e1.Clock.Before(e2.Clock)
+					if structural != clocked {
+						return fmt.Errorf(
+							"trace: hb mismatch for (%d,%d)->(%d,%d): structural=%v clocks=%v (%v vs %v)",
+							p1, s1, p2, s2, structural, clocked, e1.Clock, e2.Clock)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
