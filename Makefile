@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race check fmt bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: scripts/check.sh = vet + build + race tests + gofmt.
+check:
+	./scripts/check.sh
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -10,7 +10,9 @@
 //	chkptbench -figure runtime      # EMPIRICAL Figure 8: overhead ratio
 //	                                # measured on the runtime in virtual time
 //
-// Output is whitespace-separated columns suitable for plotting.
+// Output is whitespace-separated columns suitable for plotting; "# hist"
+// comment lines in the runtime figure carry stall/save distributions.
+// -cpuprofile/-memprofile write pprof profiles of the benchmark itself.
 package main
 
 import (
@@ -18,12 +20,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/markov"
+	"repro/internal/metrics"
 	"repro/internal/montecarlo"
 	"repro/internal/mpl"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/recovery"
 	"repro/internal/sim"
@@ -34,18 +40,55 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("chkptbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		figure = fs.String("figure", "8", `which artifact: "8", "9", "validate", "messages"`)
+		figure = fs.String("figure", "8", `which artifact: "8", "9", "validate", "messages", "domino", "runtime"`)
 		n      = fs.Int("n", 64, "process count for figure 9")
 		trials = fs.Int("trials", 100000, "Monte Carlo trials for validate")
 		lambda = fs.Float64("lambda1", markov.PaperBaseline.Lambda1, "per-process failure rate")
 		wm     = fs.Float64("wm", markov.PaperBaseline.WM, "message setup time w_m (seconds)")
+		work   = fs.Int("work", 300000, "runtime figure: work units per iteration (1 virtual ms each; 300000 ≈ the paper's T=300s interval)")
+		cpuPro = fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark to this file")
+		memPro = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	// fail reports an output-file error and forces a failing exit code from
+	// the deferred profile writers below.
+	fail := func(err error) {
+		fmt.Fprintln(stderr, "chkptbench:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if *cpuPro != "" {
+		f, err := os.Create(*cpuPro)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *memPro != "" {
+		defer func() {
+			runtime.GC()
+			if err := obs.WriteFile(*memPro, pprof.WriteHeapProfile); err != nil {
+				fail(err)
+			}
+		}()
 	}
 	b := markov.PaperBaseline
 	b.Lambda1 = *lambda
@@ -91,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "domino":
 		return runDomino(stdout, stderr)
 	case "runtime":
-		return runEmpirical(stdout, stderr)
+		return runEmpirical(stdout, stderr, *work)
 	default:
 		fmt.Fprintf(stderr, "chkptbench: unknown figure %q\n", *figure)
 		return 2
@@ -137,28 +180,28 @@ func runMessages(stdout, stderr io.Writer) int {
 // is the runtime counterpart of the analytic Figure 8 — coordination costs
 // (barrier stalls, marker floods) surface as measured time rather than as
 // a formula.
-func runEmpirical(stdout, stderr io.Writer) int {
+func runEmpirical(stdout, stderr io.Writer, workUnits int) int {
 	const iters = 4
 	tm := sim.PaperTimeModel
-	// Per-iteration computation of T ≈ 300 s (the paper's programmed
-	// interval): 300000 work units at 1 ms each.
-	const workUnits = 300000
-	fmt.Fprintln(stdout, "# empirical overhead ratio (virtual time), Jacobi workload, T≈300s/interval")
+	// Per-iteration computation defaults to T ≈ 300 s (the paper's
+	// programmed interval): 300000 work units at 1 virtual ms each.
+	fmt.Fprintf(stdout, "# empirical overhead ratio (virtual time), Jacobi workload, T≈%gs/interval\n",
+		float64(workUnits)/1000)
 	fmt.Fprintln(stdout, "# n  baseline(s)  appl-driven  SaS  C-L")
 	for _, n := range []int{2, 4, 8, 16} {
 		prog := jacobiWithWork(iters, workUnits)
 		bare := mpl.Clone(prog)
 		stripChkpts(bare)
 
-		measure := func(p *mpl.Program, hooks sim.HooksFactory) (float64, bool) {
+		measure := func(p *mpl.Program, hooks sim.HooksFactory) (*sim.Result, bool) {
 			res, err := sim.Run(sim.Config{
 				Program: p, Nproc: n, Hooks: hooks, Time: &tm, DisableTrace: true,
 			})
 			if err != nil {
 				fmt.Fprintln(stderr, "chkptbench:", err)
-				return 0, false
+				return nil, false
 			}
-			return res.VTime, true
+			return res, true
 		}
 		base, ok := measure(bare, nil)
 		if !ok {
@@ -177,9 +220,27 @@ func runEmpirical(stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "%-4d %-12.4f %-12.6f %-12.6f %-12.6f\n",
-			n, base, appl/base-1, sas/base-1, cl/base-1)
+			n, base.VTime, appl.VTime/base.VTime-1, sas.VTime/base.VTime-1, cl.VTime/base.VTime-1)
+		// Where the overhead comes from: per-protocol distributions. The
+		// coordination-free scheme never stalls, so its stall histogram is
+		// empty by construction — that asymmetry IS the result.
+		printHist(stdout, n, "appl", sim.HistBarrierStallV, appl.Metrics)
+		printHist(stdout, n, "sas", sim.HistBarrierStallV, sas.Metrics)
+		printHist(stdout, n, "cl", sim.HistBarrierStallV, cl.Metrics)
+		printHist(stdout, n, "appl", sim.HistChkptSaveMS, appl.Metrics)
+		printHist(stdout, n, "sas", sim.HistChkptSaveMS, sas.Metrics)
 	}
 	return 0
+}
+
+// printHist emits one protocol's distribution as a plot-safe comment line.
+func printHist(w io.Writer, n int, proto, name string, m metrics.Snapshot) {
+	h, ok := m.Hists[name]
+	if !ok || h.Count == 0 {
+		fmt.Fprintf(w, "# hist n=%d %s %s (empty)\n", n, proto, name)
+		return
+	}
+	fmt.Fprintf(w, "# hist n=%d %s %s %s\n", n, proto, name, h)
 }
 
 // jacobiWithWork is the Figure 1 Jacobi exchange with a heavy per-iteration

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -108,4 +110,60 @@ func parse(t *testing.T, s string) float64 {
 		t.Fatalf("parse %q: %v", s, err)
 	}
 	return v
+}
+
+// TestRuntimeFigureHistograms runs the empirical figure with a tiny work
+// parameter and checks the stall/save distributions appear: SaS must show a
+// populated barrier-stall histogram, the coordination-free scheme an empty
+// one — the measured form of the paper's comparison.
+func TestRuntimeFigureHistograms(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-figure", "runtime", "-work", "50"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "# hist n=2 sas barrier_stall_vs count=") {
+		t.Errorf("no populated SaS stall histogram:\n%s", s)
+	}
+	if !strings.Contains(s, "# hist n=2 appl barrier_stall_vs (empty)") {
+		t.Errorf("appl-driven stall histogram not reported empty:\n%s", s)
+	}
+	if !strings.Contains(s, "appl chkpt_save_ms count=") {
+		t.Errorf("no checkpoint save-time histogram:\n%s", s)
+	}
+	if rows := nonComment(s); len(rows) != 4 {
+		t.Errorf("data rows = %d, want 4:\n%s", len(rows), s)
+	}
+}
+
+// TestBenchProfilingFlags checks the pprof flags write non-empty profiles.
+func TestBenchProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb strings.Builder
+	if code := run([]string{"-figure", "8", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestBenchProfileErrorPath: an unwritable profile target must fail the
+// command even though the figure itself succeeds.
+func TestBenchProfileErrorPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "prof")
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		var out, errb strings.Builder
+		if code := run([]string{"-figure", "8", flag, bad}, &out, &errb); code == 0 {
+			t.Errorf("exit = 0 with unwritable %s", flag)
+		}
+	}
 }

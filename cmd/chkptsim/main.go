@@ -5,7 +5,16 @@
 // Usage:
 //
 //	chkptsim -n 4 [-protocol appl|sas|cl|cic|uncoord] [-fail proc:events]
-//	         [-transform] [-verify] program.mpl
+//	         [-transform] [-verify]
+//	         [-trace-out run.json] [-events-out run.jsonl]
+//	         [-metrics-out metrics.jsonl]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] program.mpl
+//
+// The observability flags persist the run: -trace-out writes a Chrome
+// trace-event file for Perfetto/chrome://tracing, -events-out streams
+// structured JSONL events as they happen (flushed even when the run
+// fails), and -metrics-out exports counters, histograms, and stage timers
+// as JSONL.
 package main
 
 import (
@@ -13,11 +22,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/mpl"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/recovery"
 	"repro/internal/sim"
@@ -51,18 +64,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("chkptsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var failures failureList
 	var (
-		nproc     = fs.Int("n", 4, "number of processes")
-		protoName = fs.String("protocol", "appl", "checkpointing protocol: appl, sas, cl, cic, uncoord")
-		transform = fs.Bool("transform", false, "run the offline transformation (phases I-III) before executing")
-		verify    = fs.Bool("verify", true, "verify that every straight cut of the trace is a recovery line")
-		interval  = fs.Int("uncoord-interval", 10, "uncoordinated mode: local events between checkpoints")
-		storeKind = fs.String("store", "mem", "stable storage: mem, incremental, or a directory path for the file store")
-		zz        = fs.Bool("zigzag", false, "run the Netzer-Xu Z-cycle analysis on the recorded trace and report useless checkpoints")
+		nproc      = fs.Int("n", 4, "number of processes")
+		protoName  = fs.String("protocol", "appl", "checkpointing protocol: appl, sas, cl, cic, uncoord")
+		transform  = fs.Bool("transform", false, "run the offline transformation (phases I-III) before executing")
+		verify     = fs.Bool("verify", true, "verify that every straight cut of the trace is a recovery line")
+		interval   = fs.Int("uncoord-interval", 10, "uncoordinated mode: local events between checkpoints")
+		storeKind  = fs.String("store", "mem", "stable storage: mem, incremental, or a directory path for the file store")
+		zz         = fs.Bool("zigzag", false, "run the Netzer-Xu Z-cycle analysis on the recorded trace and report useless checkpoints")
+		traceOut   = fs.String("trace-out", "", "write the run as Chrome trace-event JSON (open in ui.perfetto.dev or chrome://tracing)")
+		eventsOut  = fs.String("events-out", "", "stream structured JSONL runtime events to this file as they happen")
+		metricsOut = fs.String("metrics-out", "", "write a JSONL metrics stream (counters, histograms, timers) to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		virtual    = fs.Bool("vtime", false, "price the run in virtual time with the paper's cost model (timestamps trace output deterministically)")
 	)
 	fs.Var(&failures, "fail", "inject a failure as proc:events (repeatable; k-th flag applies to incarnation k)")
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +92,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 		return 2
 	}
+
+	// fail reports an output-file error and forces a failing exit code
+	// from inside the deferred flush/close paths below.
+	fail := func(err error) {
+		fmt.Fprintln(stderr, "chkptsim:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptsim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "chkptsim:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		// Deferred so the profile reflects the completed (or failed) run.
+		defer func() {
+			runtime.GC()
+			if err := obs.WriteFile(*memProfile, pprof.WriteHeapProfile); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	reg := metrics.NewRegistry()
+	parseTimer := reg.Timer("chkptsim.parse").Start()
 	src, err := readSource(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "chkptsim:", err)
@@ -83,13 +141,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "chkptsim:", err)
 		return 1
 	}
+	parseTimer.Stop()
 	if *transform {
+		transformTimer := reg.Timer("chkptsim.transform").Start()
 		rep, err := core.Transform(prog, core.DefaultConfig)
 		if err != nil {
 			fmt.Fprintln(stderr, "chkptsim:", err)
 			return 1
 		}
 		prog = rep.Program
+		transformTimer.Stop()
 	}
 
 	cfg := sim.Config{
@@ -97,6 +158,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Nproc:    *nproc,
 		Failures: failures,
 		Input:    func(rank, i int) int { return rank + i },
+	}
+	if *virtual {
+		tm := sim.PaperTimeModel
+		cfg.Time = &tm
+	}
+
+	// Observability taps. The event stream goes straight to disk so a
+	// failed run still leaves its history; the recorder feeds the Chrome
+	// trace written after the run.
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder()
+	}
+	var stream *obs.StreamWriter
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptsim:", err)
+			return 1
+		}
+		stream = obs.NewStreamWriter(f)
+		defer func() {
+			if err := stream.Err(); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	var observers []obs.Observer
+	if rec != nil {
+		observers = append(observers, rec)
+	}
+	if stream != nil {
+		observers = append(observers, stream)
+	}
+	cfg.Observer = obs.Multi(observers...)
+	if rec != nil {
+		// Written in a defer: a failing run should still leave a timeline
+		// of everything up to the failure.
+		defer func() {
+			if err := obs.WriteFile(*traceOut, rec.WriteChromeTrace); err != nil {
+				fail(err)
+			}
+		}()
 	}
 	var incStore *storage.Incremental
 	switch *storeKind {
@@ -130,15 +237,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	runTimer := reg.Timer("chkptsim.run").Start()
 	res, err := sim.Run(cfg)
+	runTimer.Stop()
 	if err != nil {
 		fmt.Fprintln(stderr, "chkptsim:", err)
 		return 1
 	}
 
+	if *metricsOut != "" {
+		meta := obs.RunMeta{
+			Program:    prog.Name,
+			Protocol:   *protoName,
+			Nproc:      *nproc,
+			Restarts:   res.Restarts,
+			RolledBack: res.RolledBack,
+			VTime:      res.VTime,
+		}
+		err := obs.WriteFile(*metricsOut, func(w io.Writer) error {
+			return obs.WriteMetricsJSONL(w, meta, res.Metrics, reg.Snapshot())
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptsim:", err)
+			return 1
+		}
+	}
+
 	fmt.Fprintf(stdout, "program %s: n=%d protocol=%s restarts=%d\n",
 		prog.Name, *nproc, *protoName, res.Restarts)
 	fmt.Fprintf(stdout, "metrics: %s\n", res.Metrics)
+	if *virtual {
+		fmt.Fprintf(stdout, "virtual makespan: %.4f s\n", res.VTime)
+	}
 	if incStore != nil {
 		st := incStore.Stats()
 		fmt.Fprintf(stdout, "incremental store: %dB full + %dB delta\n", st.FullBytes, st.DeltaBytes)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -135,4 +136,162 @@ func TestBadUsage(t *testing.T) {
 	if code := run([]string{"-fail", "nonsense", writeTemp(t, fig2Src)}, &out, &errb); code != 2 {
 		t.Errorf("bad failure spec exit = %d, want 2", code)
 	}
+}
+
+// TestObservabilityExports is the acceptance test for the observability
+// flags: the trace file must be valid Chrome trace-event JSON (traceEvents
+// array whose events carry ph/ts/pid/tid), the event stream must be
+// parseable JSONL with the documented kinds, and the metrics stream must
+// carry run metadata plus counters.
+func TestObservabilityExports(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "run.json")
+	eventsOut := filepath.Join(dir, "run.jsonl")
+	metricsOut := filepath.Join(dir, "metrics.jsonl")
+	var out, errb strings.Builder
+	code := run([]string{"-n", "4", "-transform", "-vtime", "-fail", "1:8",
+		"-trace-out", traceOut, "-events-out", eventsOut, "-metrics-out", metricsOut,
+		path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errb.String())
+	}
+
+	// Chrome trace: top-level traceEvents, every event has ph/ts/pid/tid.
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace-out is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	pids := map[float64]bool{}
+	for i, ev := range trace.TraceEvents {
+		for _, field := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("traceEvents[%d] missing %q: %v", i, field, ev)
+			}
+		}
+		pids[ev["pid"].(float64)] = true
+	}
+	if len(pids) != 2 {
+		t.Errorf("pids = %v, want both incarnations of the failed run", pids)
+	}
+
+	// Event stream: one JSON object per line, rollback and restart present.
+	kinds := map[string]int{}
+	for i, line := range nonEmptyLines(t, eventsOut) {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("events-out line %d: %v", i+1, err)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"send", "recv", "chkpt", "rollback", "restart"} {
+		if kinds[want] == 0 {
+			t.Errorf("event stream has no %q events: %v", want, kinds)
+		}
+	}
+
+	// Metrics stream: typed lines with run metadata first.
+	lines := nonEmptyLines(t, metricsOut)
+	types := map[string]int{}
+	for i, line := range lines {
+		var m struct {
+			Type     string `json:"type"`
+			Restarts *int   `json:"restarts"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("metrics-out line %d: %v", i+1, err)
+		}
+		types[m.Type]++
+		if i == 0 {
+			if m.Type != "run" || m.Restarts == nil || *m.Restarts != 1 {
+				t.Errorf("first metrics line = %s", line)
+			}
+		}
+	}
+	if types["counters"] != 1 || types["timer"] == 0 {
+		t.Errorf("metrics stream types = %v", types)
+	}
+}
+
+// TestProfilingFlags checks -cpuprofile/-memprofile produce non-empty files.
+func TestProfilingFlags(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb strings.Builder
+	code := run([]string{"-n", "2", "-transform", "-cpuprofile", cpu, "-memprofile", mem, path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestOutputErrorPathsExitNonzero: an unwritable export target must fail the
+// command even when the run itself succeeds — deferred flush/close errors
+// may not be swallowed.
+func TestOutputErrorPathsExitNonzero(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out")
+	for _, flag := range []string{"-trace-out", "-events-out", "-metrics-out", "-cpuprofile", "-memprofile"} {
+		t.Run(flag, func(t *testing.T) {
+			var out, errb strings.Builder
+			code := run([]string{"-n", "2", "-transform", flag, bad, path}, &out, &errb)
+			if code == 0 {
+				t.Errorf("exit = 0 with unwritable %s\nstderr: %s", flag, errb.String())
+			}
+			if !strings.Contains(errb.String(), "chkptsim:") {
+				t.Errorf("no error reported: %q", errb.String())
+			}
+		})
+	}
+}
+
+// TestEventStreamSurvivesFailedRun: -events-out must hold the partial
+// history even when the command exits non-zero (inconsistent cuts).
+func TestEventStreamSurvivesFailedRun(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	eventsOut := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errb strings.Builder
+	code := run([]string{"-n", "4", "-events-out", eventsOut, path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (untransformed program has inconsistent cuts)", code)
+	}
+	if lines := nonEmptyLines(t, eventsOut); len(lines) == 0 {
+		t.Error("event stream empty after failed run")
+	}
+}
+
+func nonEmptyLines(t *testing.T, path string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(line) != "" {
+			out = append(out, line)
+		}
+	}
+	return out
 }

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram is a fixed-bucket histogram: bucket boundaries are chosen at
+// construction and never change, so histograms from different runs of the
+// same configuration can be merged bucket-by-bucket (Merge). Observations
+// land in the first bucket whose upper bound is >= the value; values above
+// the last bound land in an implicit overflow bucket. The zero value is not
+// usable; construct with NewHistogram. All methods are safe for concurrent
+// use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds
+	counts []int64   // len(bounds)+1; last is overflow
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// DefaultBuckets is a 1-2-5 decade series from 1e-6 to 1e6, wide enough for
+// observations in any unit the runtime records (milliseconds of wall time,
+// virtual seconds, counts).
+var DefaultBuckets = defaultBuckets()
+
+func defaultBuckets() []float64 {
+	var b []float64
+	for exp := -6; exp <= 6; exp++ {
+		decade := math.Pow(10, float64(exp))
+		b = append(b, 1*decade, 2*decade, 5*decade)
+	}
+	return b
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds;
+// with no arguments it uses DefaultBuckets. It panics on unsorted bounds —
+// always a programming error, not input.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
+
+// merge folds a snapshot back into the histogram (aggregation across runs).
+// The snapshots must share bucket bounds.
+func (h *Histogram) merge(s HistSnapshot) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(s.Bounds) != len(h.bounds) {
+		return fmt.Errorf("metrics: merging histograms with %d vs %d buckets", len(s.Bounds), len(h.bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != h.bounds[i] {
+			return fmt.Errorf("metrics: merging histograms with different bounds at %d: %g vs %g", i, b, h.bounds[i])
+		}
+	}
+	for i, c := range s.Counts {
+		h.counts[i] += c
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	if s.Count > 0 {
+		if s.Min < h.min {
+			h.min = s.Min
+		}
+		if s.Max > h.max {
+			h.max = s.Max
+		}
+	}
+	return nil
+}
+
+// HistSnapshot is an immutable copy of a histogram.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1; last is overflow
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) as the upper bound of
+// the bucket holding the q-th observation, clamped to the observed
+// min/max. It returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			var est float64
+			if i < len(s.Bounds) {
+				est = s.Bounds[i]
+			} else {
+				est = s.Max
+			}
+			return math.Min(math.Max(est, s.Min), s.Max)
+		}
+	}
+	return s.Max
+}
+
+// String renders a compact one-line summary.
+func (s HistSnapshot) String() string {
+	if s.Count == 0 {
+		return "count=0"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "count=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g min=%.4g max=%.4g",
+		s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.Min, s.Max)
+	return sb.String()
+}

@@ -27,6 +27,7 @@ type Counters struct {
 	restartedEvents int64
 	blocked         time.Duration
 	custom          map[string]int64
+	hists           map[string]*Histogram
 }
 
 // IncAppMessages records n application (payload) messages.
@@ -72,6 +73,80 @@ func (c *Counters) Inc(name string, n int) {
 	c.custom[name] += int64(n)
 }
 
+// ObserveHist records one observation in the named distribution, creating
+// it with DefaultBuckets on first use. Distributions turn the totals above
+// into per-event shapes: how long each barrier stall was, not just their
+// sum.
+func (c *Counters) ObserveHist(name string, v float64) {
+	c.mu.Lock()
+	if c.hists == nil {
+		c.hists = make(map[string]*Histogram)
+	}
+	h, ok := c.hists[name]
+	if !ok {
+		h = NewHistogram()
+		c.hists[name] = h
+	}
+	c.mu.Unlock()
+	h.Observe(v)
+}
+
+// Reset zeroes every counter and distribution so the Counters can be
+// reused across incarnations or benchmark repetitions without
+// reallocation by callers holding a reference.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appMessages = 0
+	c.ctrlMessages = 0
+	c.ctrlBytes = 0
+	c.checkpoints = 0
+	c.forced = 0
+	c.rollbacks = 0
+	c.restartedEvents = 0
+	c.blocked = 0
+	c.custom = nil
+	c.hists = nil
+}
+
+// Merge folds a snapshot into the counters: totals add, distributions
+// merge bucket-by-bucket. It aggregates per-run snapshots into whole-sweep
+// statistics. Merging histograms with different bucket bounds fails.
+func (c *Counters) Merge(s Snapshot) error {
+	c.mu.Lock()
+	c.appMessages += s.AppMessages
+	c.ctrlMessages += s.CtrlMessages
+	c.ctrlBytes += s.CtrlBytes
+	c.checkpoints += s.Checkpoints
+	c.forced += s.Forced
+	c.rollbacks += s.Rollbacks
+	c.restartedEvents += s.RestartedEvents
+	c.blocked += s.Blocked
+	if len(s.Custom) > 0 && c.custom == nil {
+		c.custom = make(map[string]int64, len(s.Custom))
+	}
+	for k, v := range s.Custom {
+		c.custom[k] += v
+	}
+	if len(s.Hists) > 0 && c.hists == nil {
+		c.hists = make(map[string]*Histogram, len(s.Hists))
+	}
+	c.mu.Unlock()
+	for name, hs := range s.Hists {
+		c.mu.Lock()
+		h, ok := c.hists[name]
+		if !ok {
+			h = NewHistogram(hs.Bounds...)
+			c.hists[name] = h
+		}
+		c.mu.Unlock()
+		if err := h.merge(hs); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
 func (c *Counters) add(field *int64, n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -89,6 +164,7 @@ type Snapshot struct {
 	RestartedEvents int64
 	Blocked         time.Duration
 	Custom          map[string]int64
+	Hists           map[string]HistSnapshot
 }
 
 // Snapshot returns a consistent copy of all counters.
@@ -111,6 +187,12 @@ func (c *Counters) Snapshot() Snapshot {
 			s.Custom[k] = v
 		}
 	}
+	if len(c.hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(c.hists))
+		for k, h := range c.hists {
+			s.Hists[k] = h.Snapshot()
+		}
+	}
 	return s
 }
 
@@ -131,6 +213,16 @@ func (s Snapshot) String() string {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Fprintf(&sb, " %s=%d", k, s.Custom[k])
+		}
+	}
+	if len(s.Hists) > 0 {
+		keys := make([]string, 0, len(s.Hists))
+		for k := range s.Hists {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s{%s}", k, s.Hists[k])
 		}
 	}
 	return sb.String()

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFile creates path, runs write, and closes the file, reporting the
+// FIRST error: a failed write must not be masked by a clean close, and a
+// failed close (lost flush) must surface even when the write succeeded.
+// Export-producing commands route every artifact through it so their exit
+// codes reflect truncated or unwritable output.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

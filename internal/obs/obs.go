@@ -1,0 +1,129 @@
+// Package obs is the run observability layer: it turns executions of the
+// sim runtime into durable, structured artifacts. The runtime publishes
+// Events through the Observer interface (wired via sim.Config.Observer);
+// this package provides the consumers:
+//
+//   - Recorder collects events in memory and exports them as canonical
+//     JSONL (WriteJSONL) or as a Chrome trace-event file (WriteChromeTrace)
+//     that opens directly in Perfetto (ui.perfetto.dev) or
+//     chrome://tracing, with per-process timelines, checkpoints as instant
+//     events, send→recv flow arrows, and rollback/restart markers.
+//   - StreamWriter streams each event as one JSON line the moment it is
+//     observed — a flight recorder that survives crashes of the run.
+//   - WriteMetricsJSONL exports a run's counters, histograms, and timers
+//     as a JSONL metrics stream.
+//
+// The package deliberately depends only on internal/metrics, never on the
+// runtime, so any event producer can reuse it.
+//
+// # JSONL event schema
+//
+// Each line is one JSON object:
+//
+//	kind    string  event kind: send, recv, chkpt, compute, block,
+//	                rollback, restart, halt
+//	proc    int     process rank; -1 for run-level events
+//	inc     int     incarnation (0 until the first recovery)
+//	seq     int     position in the (inc, proc) local history
+//	vclock  []int   vector clock after the event (process events only)
+//	vtime   float64 virtual time, seconds (when the run prices time)
+//	wall_ns int64   wall-clock nanoseconds since the observer started
+//	label   string  human-readable tag (statement, failure, recovery line)
+//	tag     string  protocol tag for control traffic ("ctrl", marker tags)
+//	msg     object  {"from","to","seq"} for send/recv
+//	chkpt   object  {"index","instance"} for chkpt
+//	dur_ns  int64   blocked wall time for block events
+//	vdur    float64 blocked virtual time for block events
+//
+// Zero-valued optional fields are omitted. Lines are ordered by
+// (inc, proc, seq) in Recorder exports, which is deterministic for
+// deterministic programs; StreamWriter emits arrival order.
+package obs
+
+// Kind names an event class in the exported streams. String values, not
+// iota: the JSONL schema is a contract with external tools.
+type Kind string
+
+// Event kinds. The first four mirror the trace package's local-history
+// kinds; the rest are runtime lifecycle events that an in-memory trace
+// never sees (they concern incarnations, not one local history).
+const (
+	KindCompute  Kind = "compute"
+	KindSend     Kind = "send"
+	KindRecv     Kind = "recv"
+	KindChkpt    Kind = "chkpt"
+	KindBlock    Kind = "block"
+	KindRollback Kind = "rollback"
+	KindRestart  Kind = "restart"
+	KindHalt     Kind = "halt"
+)
+
+// MsgRef identifies an application message (sender, receiver, per-channel
+// sequence number).
+type MsgRef struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Seq  int `json:"seq"`
+}
+
+// ChkptRef identifies a checkpoint: the straight-cut index C_i and the
+// instance count for checkpoint statements inside loops.
+type ChkptRef struct {
+	Index    int `json:"index"`
+	Instance int `json:"instance"`
+}
+
+// Event is one observed runtime event. Producers fill the semantic fields;
+// Seq and WallNS are stamped by the consuming Recorder/StreamWriter so
+// producers stay free of clock and ordering concerns.
+type Event struct {
+	Kind   Kind      `json:"kind"`
+	Proc   int       `json:"proc"`
+	Inc    int       `json:"inc"`
+	Seq    int       `json:"seq"`
+	VClock []uint64  `json:"vclock,omitempty"`
+	VTime  float64   `json:"vtime,omitempty"`
+	WallNS int64     `json:"wall_ns,omitempty"`
+	Label  string    `json:"label,omitempty"`
+	Tag    string    `json:"tag,omitempty"`
+	Msg    *MsgRef   `json:"msg,omitempty"`
+	Chkpt  *ChkptRef `json:"chkpt,omitempty"`
+	DurNS  int64     `json:"dur_ns,omitempty"`
+	VDur   float64   `json:"vdur,omitempty"`
+}
+
+// Observer receives runtime events as they happen. Implementations must be
+// safe for concurrent use: every process goroutine publishes through the
+// same observer.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// multi fans one event out to several observers.
+type multi []Observer
+
+func (m multi) OnEvent(e Event) {
+	for _, o := range m {
+		o.OnEvent(e)
+	}
+}
+
+// Multi combines observers; nil entries are dropped. It returns nil when
+// nothing remains, so callers can wire the result straight into a config
+// field that treats nil as "observability off".
+func Multi(obs ...Observer) Observer {
+	var out multi
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}

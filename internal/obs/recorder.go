@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// stamper assigns per-(inc, proc) local sequence numbers and wall-clock
+// stamps. Callers must hold their own lock around stamp.
+type stamper struct {
+	start time.Time
+	now   func() int64 // wall ns supplier; nil = real clock
+	seqs  map[[2]int]int
+}
+
+func newStamper() stamper {
+	return stamper{start: time.Now(), seqs: make(map[[2]int]int)}
+}
+
+func (s *stamper) stamp(e *Event, clock func() int64) {
+	key := [2]int{e.Inc, e.Proc}
+	e.Seq = s.seqs[key]
+	s.seqs[key] = e.Seq + 1
+	if clock != nil {
+		e.WallNS = clock()
+	} else {
+		e.WallNS = int64(time.Since(s.start))
+	}
+}
+
+// Recorder is an Observer that collects every event in memory for
+// post-run export. The zero value is not usable; construct with
+// NewRecorder.
+type Recorder struct {
+	mu sync.Mutex
+	st stamper
+	// Now, when non-nil, replaces the wall clock (nanoseconds since run
+	// start). Tests use it for byte-stable output; returning a constant 0
+	// suppresses wall_ns entirely via omitempty.
+	Now    func() int64
+	events []Event
+}
+
+// NewRecorder creates an empty recorder; wall stamps are relative to this
+// call.
+func NewRecorder() *Recorder {
+	return &Recorder{st: newStamper()}
+}
+
+// OnEvent implements Observer.
+func (r *Recorder) OnEvent(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.st.stamp(&e, r.Now)
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in canonical (inc, proc, seq) order.
+// Run-level events (proc -1) sort before the processes of their
+// incarnation. This order is deterministic for deterministic programs —
+// per-process histories are totally ordered by the process itself — while
+// raw arrival order is scheduler-dependent.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Inc != b.Inc {
+			return a.Inc < b.Inc
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSONL writes the events in canonical order, one JSON object per
+// line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamWriter is an Observer that writes each event as one JSON line the
+// moment it arrives — arrival order, not canonical order — so a crashed
+// run still leaves its events on disk. Construct with NewStreamWriter;
+// check Err after the run (a stream that went bad swallows subsequent
+// events rather than blocking the runtime).
+type StreamWriter struct {
+	mu  sync.Mutex
+	st  stamper
+	enc *json.Encoder
+	err error
+	// Now mirrors Recorder.Now.
+	Now func() int64
+}
+
+// NewStreamWriter creates a streaming observer over w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{st: newStamper(), enc: json.NewEncoder(w)}
+}
+
+// OnEvent implements Observer.
+func (s *StreamWriter) OnEvent(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.stamp(&e, s.Now)
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (s *StreamWriter) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

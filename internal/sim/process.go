@@ -7,12 +7,30 @@ import (
 	"math/rand"
 	"runtime"
 	"strconv"
+	stdtime "time"
 
 	"repro/internal/metrics"
 	"repro/internal/mpl"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/vclock"
+)
+
+// Histogram names the runtime records through metrics.Counters.ObserveHist.
+// They are part of the metrics-stream contract (obs.WriteMetricsJSONL), so
+// protocol comparisons can report distributions, not just totals.
+const (
+	// HistBlockedWallMS is wall-clock milliseconds a process spent blocked
+	// on protocol coordination (RecvCtrl), one observation per wait.
+	HistBlockedWallMS = "blocked_wall_ms"
+	// HistBarrierStallV is virtual seconds a process's clock jumped while
+	// waiting for protocol control traffic — the §4 coordination cost M as
+	// a per-stall distribution (only recorded under Config.Time).
+	HistBarrierStallV = "barrier_stall_vs"
+	// HistChkptSaveMS is wall-clock milliseconds per checkpoint persisted
+	// to stable storage.
+	HistChkptSaveMS = "chkpt_save_ms"
 )
 
 // ErrProcFailed is the injected-failure signal.
@@ -42,6 +60,8 @@ type Proc struct {
 	store    storage.Store
 	counters *metrics.Counters
 	hooks    Hooks
+	obsv     obs.Observer // nil: observability off
+	inc      int          // incarnation this process belongs to
 
 	env       *mpl.Env
 	pc        int
@@ -80,7 +100,8 @@ type Proc struct {
 // newProc builds a fresh process at the program start.
 func newProc(rank int, code *Code, net *Network, tr *trace.Trace, st storage.Store,
 	counters *metrics.Counters, hooks Hooks, input func(rank, i int) int,
-	maxSteps, failAfter int, time *TimeModel, vfailAt float64) *Proc {
+	maxSteps, failAfter int, time *TimeModel, vfailAt float64,
+	obsv obs.Observer, inc int) *Proc {
 	n := net.N()
 	p := &Proc{
 		rank:      rank,
@@ -91,6 +112,8 @@ func newProc(rank int, code *Code, net *Network, tr *trace.Trace, st storage.Sto
 		store:     st,
 		counters:  counters,
 		hooks:     hooks,
+		obsv:      obsv,
+		inc:       inc,
 		clock:     vclock.New(n),
 		sendSeq:   make([]int, n),
 		recvSeq:   make([]int, n),
@@ -170,19 +193,49 @@ func (p *Proc) restore(s storage.Snapshot) error {
 	return nil
 }
 
-// record appends an event to the trace (when tracing) and applies the
-// failure trigger.
+// record appends an event to the trace (when tracing), publishes it to the
+// observer, and applies the failure trigger.
 func (p *Proc) record(e trace.Event) error {
 	if p.tr != nil {
 		e.Proc = p.rank
 		e.Clock = p.clock
 		p.tr.Append(e)
 	}
+	if p.obsv != nil {
+		oe := obs.Event{Label: e.Label}
+		switch e.Kind {
+		case trace.KindSend:
+			oe.Kind = obs.KindSend
+			oe.Msg = &obs.MsgRef{From: e.Msg.From, To: e.Msg.To, Seq: e.Msg.Seq}
+		case trace.KindRecv:
+			oe.Kind = obs.KindRecv
+			oe.Msg = &obs.MsgRef{From: e.Msg.From, To: e.Msg.To, Seq: e.Msg.Seq}
+		case trace.KindCheckpoint:
+			oe.Kind = obs.KindChkpt
+			oe.Chkpt = &obs.ChkptRef{Index: e.Chkpt.CFGIndex, Instance: e.Chkpt.Instance}
+		default:
+			oe.Kind = obs.KindCompute
+		}
+		oe.VClock = append([]uint64(nil), p.clock...)
+		p.emit(oe)
+	}
 	p.events++
 	if p.failAfter >= 0 && p.events >= p.failAfter {
 		return fmt.Errorf("%w: process %d after %d events", ErrProcFailed, p.rank, p.events)
 	}
 	return nil
+}
+
+// emit publishes an event to the observer, filling the process identity
+// and clocks. No-op without an observer.
+func (p *Proc) emit(e obs.Event) {
+	if p.obsv == nil {
+		return
+	}
+	e.Proc = p.rank
+	e.Inc = p.inc
+	e.VTime = p.vtime
+	p.obsv.OnEvent(e)
 }
 
 // TakeCheckpoint takes a local checkpoint with the given straight-cut
@@ -220,9 +273,11 @@ func (p *Proc) TakeCheckpoint(idx int) error {
 		Instances: instances,
 		VTime:     p.vtime,
 	}
+	saveStart := stdtime.Now()
 	if err := p.store.Save(snap); err != nil {
 		return err
 	}
+	p.counters.ObserveHist(HistChkptSaveMS, float64(stdtime.Since(saveStart).Nanoseconds())/1e6)
 	p.counters.IncCheckpoints(1)
 	return p.record(trace.Event{
 		Kind:  trace.KindCheckpoint,
@@ -255,8 +310,14 @@ func (p *Proc) SendMarker(to int, tag string, payload []int) error {
 }
 
 // RecvCtrl blocks for the next control message (protocol barriers),
-// synchronizing the virtual clock to its arrival.
+// synchronizing the virtual clock to its arrival. The wait is charged to
+// the blocked-time accounting: total wall time in Counters.AddBlocked plus
+// per-stall wall and virtual-time distributions, and a block event on the
+// observer — protocol coordination cost is precisely what the paper's
+// scheme eliminates, so the runtime makes it visible.
 func (p *Proc) RecvCtrl() (Message, error) {
+	start := stdtime.Now()
+	v0 := p.vtime
 	m, err := p.net.RecvCtrl(p.rank)
 	if err != nil {
 		return Message{}, err
@@ -264,6 +325,13 @@ func (p *Proc) RecvCtrl() (Message, error) {
 	if err := p.syncTo(m.ArriveV); err != nil {
 		return Message{}, err
 	}
+	blocked := stdtime.Since(start)
+	p.counters.AddBlocked(blocked)
+	p.counters.ObserveHist(HistBlockedWallMS, float64(blocked.Nanoseconds())/1e6)
+	if p.time != nil {
+		p.counters.ObserveHist(HistBarrierStallV, p.vtime-v0)
+	}
+	p.emit(obs.Event{Kind: obs.KindBlock, Tag: "ctrl", DurNS: blocked.Nanoseconds(), VDur: p.vtime - v0})
 	return m, nil
 }
 
@@ -482,6 +550,7 @@ func (p *Proc) run() error {
 				p.pc = in.Target
 			}
 		case OpHalt:
+			p.emit(obs.Event{Kind: obs.KindHalt, VClock: append([]uint64(nil), p.clock...)})
 			return p.hooks.OnHalt(p)
 		default:
 			return fmt.Errorf("sim: process %d: unknown opcode %v", p.rank, in.Op)

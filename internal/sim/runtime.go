@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/mpl"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -59,6 +60,12 @@ type Config struct {
 	Recover RecoveryFunc
 	// DisableTrace skips event recording (benchmarks).
 	DisableTrace bool
+	// Observer, when set, receives every runtime event (sends, receives,
+	// checkpoints, blocks, rollbacks, restarts) as it happens — the
+	// observability layer's tap. Unlike Trace it spans ALL incarnations,
+	// not just the final one, and it is independent of DisableTrace.
+	// Implementations must be safe for concurrent use.
+	Observer obs.Observer
 	// Timeout aborts a deadlocked incarnation (default 30s). Programs with
 	// mismatched sends/receives otherwise block forever.
 	Timeout time.Duration
@@ -166,7 +173,8 @@ func Run(cfg Config) (*Result, error) {
 		procs := make([]*Proc, n)
 		for r := 0; r < n; r++ {
 			procs[r] = newProc(r, code, net, tr, st, counters, hooksFactory(r, n),
-				cfg.Input, maxSteps, failAfter[r], cfg.Time, vfailAt[r])
+				cfg.Input, maxSteps, failAfter[r], cfg.Time, vfailAt[r],
+				cfg.Observer, incarnation)
 			if cfg.Jitter != 0 {
 				procs[r].jitter = rand.New(rand.NewSource(cfg.Jitter + int64(r)*7919 + int64(incarnation)))
 			}
@@ -252,6 +260,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Restarts++
 		counters.IncRollbacks(n)
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(obs.Event{
+				Kind: obs.KindRollback, Proc: -1, Inc: incarnation,
+				VTime: restartV, Label: failure.Error(),
+			})
+		}
 		if res.Restarts > maxRestarts {
 			return nil, fmt.Errorf("sim: exceeded %d restarts: %w", maxRestarts, failure)
 		}
@@ -261,6 +275,16 @@ func Run(cfg Config) (*Result, error) {
 			line = nil // restart from scratch
 		case err != nil:
 			return nil, err
+		}
+		if cfg.Observer != nil {
+			label := "from scratch"
+			if line != nil {
+				label = fmt.Sprintf("%d process(es) rolled back to recovery line", line.Rollbacks)
+			}
+			cfg.Observer.OnEvent(obs.Event{
+				Kind: obs.KindRestart, Proc: -1, Inc: incarnation + 1,
+				VTime: restartV, Label: label,
+			})
 		}
 		if line != nil {
 			res.RolledBack += line.Rollbacks

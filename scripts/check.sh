@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repository health check: what CI runs, and what a contributor should run
+# before sending a change. Fails on the first problem.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '>> gofmt'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go test -race ./...'
+go test -race ./...
+
+echo 'OK'
