@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt bench
+.PHONY: all build vet test race check fmt bench chaos
 
 all: check
 
@@ -25,3 +25,8 @@ fmt:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# chaos runs the fault-injection soak: fixed seeds, all store kinds,
+# storage faults + generated crash schedules, under the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaosSoak' -count=1 -v .

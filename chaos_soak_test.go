@@ -1,0 +1,120 @@
+package repro_test
+
+// Chaos soak: the acceptance test of the robustness layer. Seeded runs
+// combining storage fault injection (transient errors, torn writes, bit
+// flips, latency) with generated multi-process, multi-incarnation crash
+// schedules must all converge to the clean run's final state, across all
+// three store kinds — and the fleet as a whole must actually exercise the
+// fault machinery (faults injected, retries taken, degraded recoveries
+// observed, with matching observability events).
+//
+// Skipped under -short; `make chaos` runs it with -race.
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	rep, err := core.Transform(corpus.JacobiFig2(3), core.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := rep.Program
+	const n = 3
+	clean, err := sim.Run(sim.Config{Program: prog, Nproc: n, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet-wide aggregates: individual seeds may draw empty schedules or
+	// dodge every fault, but across 24 seeds the machinery must fire.
+	var totalFaults, totalRetries, totalDegraded, totalRestarts int64
+	kinds := map[obs.Kind]int{}
+	for seed := int64(0); seed < 24; seed++ {
+		var inner storage.Store
+		switch seed % 3 {
+		case 0:
+			inner = storage.NewMemory()
+		case 1:
+			inner = storage.NewIncremental(4)
+		default:
+			fs, err := storage.NewFile(filepath.Join(t.TempDir(), "ckpt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inner = fs
+		}
+		rates := chaos.DefaultRates(0.12)
+		if seed%2 == 1 {
+			// Rot-heavy profile: with a large fraction of snapshots damaged
+			// on disk, the recovery frontier itself is corrupt and selection
+			// must walk down the degradation ladder. (At the default rates
+			// a flipped checkpoint is usually shadowed by a newer clean
+			// instance before any crash probes it.)
+			rates = chaos.Rates{WriteError: 0.05, ReadError: 0.05, TornWrite: 0.05, BitFlip: 0.4}
+		}
+		rec := obs.NewRecorder()
+		cst := chaos.New(inner, seed, rates, rec)
+		crashes := chaos.CrashSchedule(seed, chaos.ScheduleConfig{
+			Nproc: n, Lambda: 1.2, MaxIncarnations: 3, MaxEvents: 35,
+		})
+		res, err := sim.Run(sim.Config{
+			Program:  prog,
+			Nproc:    n,
+			Store:    cst,
+			Crashes:  crashes,
+			Observer: rec,
+			Jitter:   seed,
+			// Storage faults crash processes beyond the schedule; give
+			// recovery generous headroom.
+			MaxRestarts: len(crashes) + 25,
+			Timeout:     20 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("seed %d (%T): %v (schedule %v)", seed, inner, err, crashes)
+		}
+		if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+			t.Fatalf("seed %d (%T): diverged under chaos\nclean: %v\nchaos: %v",
+				seed, inner, clean.FinalVars, res.FinalVars)
+		}
+		st := cst.Stats()
+		totalFaults += st.Total()
+		totalRetries += int64(res.Metrics.Custom[sim.MetricStoreRetries])
+		totalDegraded += int64(res.Metrics.Custom[sim.MetricRecoveryDegraded])
+		totalRestarts += int64(res.Restarts)
+		for _, e := range rec.Events() {
+			kinds[e.Kind]++
+		}
+	}
+
+	if totalFaults == 0 {
+		t.Error("fleet injected no storage faults — the chaos layer never fired")
+	}
+	if totalRetries == 0 {
+		t.Error("fleet recorded no storage retries")
+	}
+	if totalDegraded == 0 {
+		t.Error("fleet recorded no degraded recoveries — corruption never forced a fallback")
+	}
+	if totalRestarts == 0 {
+		t.Error("fleet recorded no restarts — the crash schedules never fired")
+	}
+	for _, want := range []obs.Kind{obs.KindFault, obs.KindRetry, obs.KindScrub, obs.KindDegraded} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events across the fleet: %v", want, kinds)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	chkptsim -n 4 [-protocol appl|sas|cl|cic|uncoord] [-fail proc:events]
 //	         [-transform] [-verify]
+//	         [-chaos-seed 1] [-chaos-crash-rate 1.2] [-storage-fault-rate 0.1]
 //	         [-trace-out run.json] [-events-out run.jsonl]
 //	         [-metrics-out metrics.jsonl]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] program.mpl
@@ -15,6 +16,12 @@
 // structured JSONL events as they happen (flushed even when the run
 // fails), and -metrics-out exports counters, histograms, and stage timers
 // as JSONL.
+//
+// The chaos flags inject seeded faults: -chaos-crash-rate derives a
+// multi-process, multi-incarnation crash schedule from a Poisson process
+// with the given rate, and -storage-fault-rate wraps the chosen store with
+// transient errors, torn writes, bit flips, and latency at the given rate.
+// The same -chaos-seed reproduces the same faults.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/mpl"
@@ -82,6 +90,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file")
 		virtual    = fs.Bool("vtime", false, "price the run in virtual time with the paper's cost model (timestamps trace output deterministically)")
+		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for chaos fault injection (same seed, same faults)")
+		crashRate  = fs.Float64("chaos-crash-rate", 0, "expected crashes per incarnation (Poisson); generates a seeded multi-process crash schedule")
+		faultRate  = fs.Float64("storage-fault-rate", 0, "storage fault rate in [0,1]: transient errors, torn writes, bit flips, latency")
 	)
 	fs.Var(&failures, "fail", "inject a failure as proc:events (repeatable; k-th flag applies to incarnation k)")
 	if err := fs.Parse(args); err != nil {
@@ -220,6 +231,25 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		cfg.Store = fileStore
 	}
+	var chaosStore *chaos.Store
+	if *faultRate > 0 {
+		inner := cfg.Store
+		if inner == nil {
+			inner = storage.NewMemory()
+		}
+		chaosStore = chaos.New(inner, *chaosSeed, chaos.DefaultRates(*faultRate), cfg.Observer)
+		cfg.Store = chaosStore
+	}
+	if *crashRate > 0 {
+		cfg.Crashes = chaos.CrashSchedule(*chaosSeed, chaos.ScheduleConfig{
+			Nproc: *nproc, Lambda: *crashRate, MaxIncarnations: 3,
+		})
+	}
+	if chaosStore != nil || *crashRate > 0 {
+		// Storage faults crash processes beyond the scheduled failures;
+		// leave recovery generous headroom.
+		cfg.MaxRestarts = len(cfg.Failures) + len(cfg.Crashes) + 25
+	}
 	switch *protoName {
 	case "appl":
 		// coordination-free: no hooks
@@ -272,6 +302,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if incStore != nil {
 		st := incStore.Stats()
 		fmt.Fprintf(stdout, "incremental store: %dB full + %dB delta\n", st.FullBytes, st.DeltaBytes)
+	}
+	if chaosStore != nil {
+		st := chaosStore.Stats()
+		fmt.Fprintf(stdout, "chaos: %d fault(s): %d write, %d read, %d torn (%d repaired), %d bit-flip\n",
+			st.Total(), st.WriteErrors, st.ReadErrors, st.TornWrites, st.Repairs, st.BitFlips)
 	}
 	for p, vars := range res.FinalVars {
 		fmt.Fprintf(stdout, "  proc %d: %v\n", p, sortedVars(vars))

@@ -281,6 +281,52 @@ func TestEventStreamSurvivesFailedRun(t *testing.T) {
 	}
 }
 
+// TestChaosFlags: a seeded chaos run (crash schedule + storage faults) must
+// converge to the clean run's final state and report its fault stats.
+func TestChaosFlags(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	var clean, errb strings.Builder
+	if code := run([]string{"-n", "4", "-transform", path}, &clean, &errb); code != 0 {
+		t.Fatalf("clean run exit = %d: %s", code, errb.String())
+	}
+	var out strings.Builder
+	errb.Reset()
+	code := run([]string{"-n", "4", "-transform",
+		"-chaos-seed", "3", "-chaos-crash-rate", "1.2", "-storage-fault-rate", "0.1",
+		path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("chaos run exit = %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "chaos:") {
+		t.Errorf("no chaos stats reported: %q", out.String())
+	}
+	// The final per-process state lines must match the clean run exactly.
+	finals := func(s string) []string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "proc ") {
+				out = append(out, strings.TrimSpace(line))
+			}
+		}
+		return out
+	}
+	c, f := finals(clean.String()), finals(out.String())
+	if len(c) == 0 || strings.Join(c, ";") != strings.Join(f, ";") {
+		t.Errorf("chaos run diverged:\nclean: %v\nchaos: %v", c, f)
+	}
+	// Same seed, same outcome.
+	var again strings.Builder
+	errb.Reset()
+	if code := run([]string{"-n", "4", "-transform",
+		"-chaos-seed", "3", "-chaos-crash-rate", "1.2", "-storage-fault-rate", "0.1",
+		path}, &again, &errb); code != 0 {
+		t.Fatalf("repeat chaos run exit = %d: %s", code, errb.String())
+	}
+	if strings.Join(finals(again.String()), ";") != strings.Join(f, ";") {
+		t.Error("same chaos seed produced different final state")
+	}
+}
+
 func nonEmptyLines(t *testing.T, path string) []string {
 	t.Helper()
 	raw, err := os.ReadFile(path)

@@ -1,0 +1,236 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+func snap(proc, index, instance int) storage.Snapshot {
+	return storage.Snapshot{
+		Proc: proc, CFGIndex: index, Instance: instance,
+		Clock: vclock.VC{uint64(10*index + instance + 1), 0},
+		Vars:  map[string]int{"x": 100*index + instance},
+	}
+}
+
+func TestZeroRatesArePassthrough(t *testing.T) {
+	c := New(storage.NewMemory(), 1, Rates{}, nil)
+	for k := 0; k < 5; k++ {
+		if err := c.Save(snap(0, 1, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := c.Latest(0, 1)
+	if err != nil || s.Instance != 4 {
+		t.Fatalf("Latest = %+v, %v", s, err)
+	}
+	if _, err := c.Get(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if l, err := c.List(0); err != nil || len(l) != 5 {
+		t.Fatalf("List = %d snaps, %v", len(l), err)
+	}
+	if c.Stats().Total() != 0 {
+		t.Fatalf("injected %+v with zero rates", c.Stats())
+	}
+}
+
+func TestWriteErrorRateOneFailsEverySaveWithoutPersisting(t *testing.T) {
+	inner := storage.NewMemory()
+	c := New(inner, 7, Rates{WriteError: 1}, nil)
+	for k := 0; k < 3; k++ {
+		if err := c.Save(snap(0, 1, k)); !errors.Is(err, storage.ErrTransient) {
+			t.Fatalf("Save = %v, want ErrTransient", err)
+		}
+	}
+	if inner.Len() != 0 {
+		t.Fatalf("inner holds %d snapshots after pure write errors", inner.Len())
+	}
+	if st := c.Stats(); st.WriteErrors != 3 {
+		t.Fatalf("stats = %+v, want 3 write errors", st)
+	}
+}
+
+func TestTornWriteFailsThenRepairsOnRetry(t *testing.T) {
+	inner := storage.NewMemory()
+	c := New(inner, 7, Rates{TornWrite: 1}, nil)
+	if err := c.Save(snap(0, 1, 0)); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("first save = %v, want ErrTransient (torn)", err)
+	}
+	// The partial is on disk but unreadable.
+	if _, err := c.Get(0, 1, 0); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("read of torn key = %v, want ErrCorrupt", err)
+	}
+	// The retry rewrites it atomically.
+	if err := c.Save(snap(0, 1, 0)); err != nil {
+		t.Fatalf("retry save = %v, want repair", err)
+	}
+	s, err := c.Get(0, 1, 0)
+	if err != nil || s.Vars["x"] != 100 {
+		t.Fatalf("after repair: %+v, %v", s, err)
+	}
+	if st := c.Stats(); st.TornWrites != 1 || st.Repairs != 1 {
+		t.Fatalf("stats = %+v, want 1 torn + 1 repair", st)
+	}
+}
+
+func TestBitFlipIsSilentUntilRead(t *testing.T) {
+	c := New(storage.NewMemory(), 3, Rates{BitFlip: 1}, nil)
+	if err := c.Save(snap(0, 1, 0)); err != nil {
+		t.Fatalf("bit-flip save must report success, got %v", err)
+	}
+	if _, err := c.Get(0, 1, 0); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("Get = %v, want ErrCorrupt", err)
+	}
+	if _, err := c.Latest(0, 1); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("Latest = %v, want ErrCorrupt", err)
+	}
+	if _, err := c.List(0); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("List = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadErrorIsTransient(t *testing.T) {
+	c := New(storage.NewMemory(), 3, Rates{ReadError: 1}, nil)
+	if err := c.Save(snap(0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(0, 1, 0); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("Get = %v, want ErrTransient", err)
+	}
+	if _, err := c.Latest(0, 1); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("Latest = %v, want ErrTransient", err)
+	}
+}
+
+func TestScrubClearsMarksAndAllowsResave(t *testing.T) {
+	inner := storage.NewMemory()
+	c := New(inner, 3, Rates{BitFlip: 1}, nil)
+	if err := c.Save(snap(0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Reason != "bit flip" {
+		t.Fatalf("scrub = %+v, want 1 bit-flip quarantine", rep)
+	}
+	if _, err := c.Get(0, 1, 0); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Get after scrub = %v, want ErrNotFound", err)
+	}
+	// Replay re-saves the key (the flip re-rolls on a fresh attempt; at
+	// rate 1 it flips again, proving the attempt counter advances).
+	if err := c.Save(snap(0, 1, 0)); err != nil {
+		t.Fatalf("re-save after scrub: %v", err)
+	}
+	if inner.Len() != 1 {
+		t.Fatalf("inner holds %d snapshots, want 1", inner.Len())
+	}
+}
+
+func TestScrubTruncatesNewestFirstOverDeltaChain(t *testing.T) {
+	// The inner store only allows tail deletion (Incremental): quarantining
+	// an old marked key must remove the newer clean keys above it as
+	// collateral instead of failing.
+	inner := storage.NewIncremental(8)
+	c := New(inner, 5, Rates{}, nil)
+	for k := 0; k < 4; k++ {
+		if err := c.Save(snap(0, 1, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mark instance 1 corrupt by hand (rates were zero above).
+	c.corrupt[key{0, 1, 1}] = "bit flip"
+	rep, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Collateral != 2 {
+		t.Fatalf("scrub = %+v, want 1 quarantined + 2 collateral", rep)
+	}
+	if _, err := c.Get(0, 1, 0); err != nil {
+		t.Fatalf("instance below the mark must survive: %v", err)
+	}
+	for k := 1; k < 4; k++ {
+		if _, err := c.Get(0, 1, k); !errors.Is(err, storage.ErrNotFound) {
+			t.Fatalf("instance %d after scrub = %v, want ErrNotFound", k, err)
+		}
+	}
+	// Replay regenerates the truncated tail.
+	for k := 1; k < 4; k++ {
+		if err := c.Save(snap(0, 1, k)); err != nil {
+			t.Fatalf("re-save instance %d: %v", k, err)
+		}
+	}
+}
+
+func TestFaultPatternIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) ([]string, Stats) {
+		c := New(storage.NewMemory(), seed, Rates{
+			WriteError: 0.3, ReadError: 0.3, TornWrite: 0.2, BitFlip: 0.2,
+		}, nil)
+		var pattern []string
+		record := func(err error) {
+			switch {
+			case err == nil:
+				pattern = append(pattern, "ok")
+			case errors.Is(err, storage.ErrTransient):
+				pattern = append(pattern, "transient")
+			case errors.Is(err, storage.ErrCorrupt):
+				pattern = append(pattern, "corrupt")
+			case errors.Is(err, storage.ErrNotFound):
+				pattern = append(pattern, "notfound")
+			default:
+				pattern = append(pattern, "other")
+			}
+		}
+		for k := 0; k < 10; k++ {
+			record(c.Save(snap(0, 1, k)))
+			record(c.Save(snap(1, 1, k)))
+		}
+		for k := 0; k < 10; k++ {
+			_, err := c.Get(0, 1, k)
+			record(err)
+			_, err = c.Latest(1, 1)
+			record(err)
+		}
+		return pattern, c.Stats()
+	}
+	p1, s1 := run(42)
+	p2, s2 := run(42)
+	if !reflect.DeepEqual(p1, p2) || s1 != s2 {
+		t.Fatalf("same seed diverged:\n%v %+v\n%v %+v", p1, s1, p2, s2)
+	}
+	p3, _ := run(43)
+	if reflect.DeepEqual(p1, p3) {
+		t.Error("different seeds produced identical fault patterns (suspicious)")
+	}
+	// Moderate rates on 60 ops must actually inject something.
+	if s1.Total() == 0 {
+		t.Error("no faults injected at 30% rates over 60 operations")
+	}
+}
+
+func TestInnerStoreOnlyHoldsCleanData(t *testing.T) {
+	// Whatever the wrapper injects, the INNER store must remain readable:
+	// corruption is marks, not mangled bytes.
+	inner := storage.NewMemory()
+	c := New(inner, 11, DefaultRates(0.4), nil)
+	for k := 0; k < 10; k++ {
+		_ = c.Save(snap(0, 1, k)) // errors expected; ignore
+	}
+	snaps, err := inner.List(0)
+	if err != nil {
+		t.Fatalf("inner.List = %v, inner must never corrupt", err)
+	}
+	for _, s := range snaps {
+		if s.Vars["x"] != 100+s.Instance {
+			t.Fatalf("inner snapshot mutated: %+v", s)
+		}
+	}
+}

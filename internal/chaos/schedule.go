@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// ScheduleConfig shapes a generated crash schedule.
+type ScheduleConfig struct {
+	// Nproc is the process count; crashed processes are drawn from it
+	// without replacement per incarnation (concurrent crashes hit DISTINCT
+	// processes).
+	Nproc int
+	// Lambda is the expected number of crashes per incarnation (Poisson).
+	Lambda float64
+	// MaxIncarnations is how many incarnations may receive crashes —
+	// values above 1 schedule failures during recovery. Default 1.
+	MaxIncarnations int
+	// MaxEvents bounds the crash point: AfterEvents is drawn uniformly
+	// from [1, MaxEvents]. Default 40.
+	MaxEvents int
+	// MaxTime bounds virtual crash times for VCrashSchedule: At is drawn
+	// uniformly from (0, MaxTime]. Default 10.
+	MaxTime float64
+}
+
+func (cfg *ScheduleConfig) defaults() {
+	if cfg.MaxIncarnations <= 0 {
+		cfg.MaxIncarnations = 1
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 40
+	}
+	if cfg.MaxTime <= 0 {
+		cfg.MaxTime = 10
+	}
+}
+
+// poisson draws a Poisson variate (Knuth's product-of-uniforms method —
+// fine for the small λ of crash schedules).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for p > l {
+		k++
+		p *= rng.Float64()
+	}
+	return k - 1
+}
+
+// CrashSchedule derives a crash schedule from (seed, λ): for each
+// incarnation below MaxIncarnations it draws a Poisson number of crashes
+// (capped at Nproc), assigns them to distinct processes, and picks an
+// event-count crash point for each. The same seed always yields the same
+// schedule; λ = 0 yields none.
+func CrashSchedule(seed int64, cfg ScheduleConfig) []sim.Crash {
+	cfg.defaults()
+	if cfg.Nproc <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []sim.Crash
+	for inc := 0; inc < cfg.MaxIncarnations; inc++ {
+		m := poisson(rng, cfg.Lambda)
+		if m > cfg.Nproc {
+			m = cfg.Nproc
+		}
+		perm := rng.Perm(cfg.Nproc)
+		for i := 0; i < m; i++ {
+			out = append(out, sim.Crash{
+				Inc:         inc,
+				Proc:        perm[i],
+				AfterEvents: 1 + rng.Intn(cfg.MaxEvents),
+			})
+		}
+	}
+	return out
+}
+
+// VCrashSchedule is CrashSchedule in virtual time: crash points are drawn
+// from (0, MaxTime] instead of event counts. Requires sim.Config.Time on
+// the run that consumes it.
+func VCrashSchedule(seed int64, cfg ScheduleConfig) []sim.VCrash {
+	cfg.defaults()
+	if cfg.Nproc <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []sim.VCrash
+	for inc := 0; inc < cfg.MaxIncarnations; inc++ {
+		m := poisson(rng, cfg.Lambda)
+		if m > cfg.Nproc {
+			m = cfg.Nproc
+		}
+		perm := rng.Perm(cfg.Nproc)
+		for i := 0; i < m; i++ {
+			out = append(out, sim.VCrash{
+				Inc:  inc,
+				Proc: perm[i],
+				At:   cfg.MaxTime * (1 - rng.Float64()),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+// Package chaos injects faults into a run deterministically: a storage
+// wrapper that fails, tears, corrupts, and delays operations at seeded
+// per-class rates, and schedule generators that derive multi-process,
+// multi-incarnation crash schedules from (λ, seed).
+//
+// Every fault decision is a pure function of (seed, fault class, snapshot
+// key, per-key attempt number) — a hash, not a shared sequential RNG — so
+// concurrent goroutine interleaving cannot perturb which operations fault.
+// The same seed reproduces the same fault pattern for the same operation
+// sequence, which is what makes chaos failures debuggable.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// Rates sets the per-operation fault probabilities, each in [0, 1].
+type Rates struct {
+	// WriteError fails a Save with storage.ErrTransient before anything is
+	// persisted (the retry layer usually absorbs it).
+	WriteError float64
+	// ReadError fails a Get/Latest with storage.ErrTransient.
+	ReadError float64
+	// TornWrite persists the snapshot but leaves it unreadable AND reports
+	// the Save as failed — the half-written file of a crash mid-write.
+	// Re-saving the same key repairs it (an atomic rewrite).
+	TornWrite float64
+	// BitFlip persists the snapshot, reports success, and silently marks
+	// the stored copy corrupt — media rot detected only at read time.
+	BitFlip float64
+	// MaxLatency, when positive, delays every operation by a deterministic
+	// per-operation fraction of it.
+	MaxLatency time.Duration
+}
+
+// DefaultRates spreads one knob across the fault classes: the visible
+// failures (write/read errors) at the full rate, the data-damaging ones
+// (torn writes, bit flips) at half, plus a small operation latency.
+func DefaultRates(rate float64) Rates {
+	return Rates{
+		WriteError: rate,
+		ReadError:  rate,
+		TornWrite:  rate / 2,
+		BitFlip:    rate / 2,
+		MaxLatency: 200 * time.Microsecond,
+	}
+}
+
+// Stats counts the faults a Store injected.
+type Stats struct {
+	WriteErrors int64
+	ReadErrors  int64
+	TornWrites  int64
+	BitFlips    int64
+	// Repairs counts torn-marked keys healed by a re-save.
+	Repairs int64
+}
+
+// Total is the number of injected faults (repairs are recoveries, not
+// faults, and are not counted).
+func (s Stats) Total() int64 {
+	return s.WriteErrors + s.ReadErrors + s.TornWrites + s.BitFlips
+}
+
+// Fault classes. Distinct constants keep the per-class hash streams
+// independent: the write-error decision for a key never correlates with its
+// bit-flip decision.
+const (
+	classWrite = iota + 1
+	classRead
+	classTorn
+	classFlip
+	classLatency
+)
+
+func className(class int) string {
+	switch class {
+	case classWrite:
+		return "write-error"
+	case classRead:
+		return "read-error"
+	case classTorn:
+		return "torn-write"
+	case classFlip:
+		return "bit-flip"
+	default:
+		return "latency"
+	}
+}
+
+type key struct{ proc, index, instance int }
+
+type opKey struct {
+	class int
+	k     key
+}
+
+// Store wraps a storage.Store with seeded fault injection. The inner store
+// only ever holds CLEAN snapshots: corruption is tracked as marks at the
+// wrapper level and surfaces as storage.ErrCorrupt on reads, simulating
+// checksum detection without poisoning the inner store's own structures
+// (a file store's namespace, an incremental store's delta chains).
+//
+// Store implements storage.Scrubber: Scrub removes marked keys from the
+// inner store (newest-first per process, honoring tail-only deletion of
+// delta-encoded stores) so replay can regenerate them.
+type Store struct {
+	inner storage.Store
+	rates Rates
+	seed  int64
+	obsv  obs.Observer // nil: no fault events
+
+	mu       sync.Mutex
+	corrupt  map[key]string // marked-unreadable keys -> reason
+	attempts map[opKey]uint64
+	stats    Stats
+}
+
+var _ storage.Store = (*Store)(nil)
+var _ storage.Scrubber = (*Store)(nil)
+
+// New wraps inner with fault injection. The observer may be nil; when set
+// it receives one KindFault event per injected fault.
+func New(inner storage.Store, seed int64, rates Rates, obsv obs.Observer) *Store {
+	return &Store{
+		inner:    inner,
+		rates:    rates,
+		seed:     seed,
+		obsv:     obsv,
+		corrupt:  make(map[key]string),
+		attempts: make(map[opKey]uint64),
+	}
+}
+
+// mix is a splitmix64-style finalizer over the decision inputs. Each
+// (seed, class, key, attempt) tuple gets an independent uniform draw.
+func mix(seed int64, class int, k key, attempt uint64) uint64 {
+	x := uint64(seed)
+	x ^= uint64(class) * 0x9e3779b97f4a7c15
+	x ^= uint64(uint32(k.proc))<<42 ^ uint64(uint32(k.index))<<21 ^ uint64(uint32(k.instance))
+	x ^= attempt * 0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll draws the next decision value for (class, key), advancing the
+// per-key attempt counter so retries of the same operation re-roll.
+func (c *Store) roll(class int, k key) uint64 {
+	ok := opKey{class, k}
+	attempt := c.attempts[ok]
+	c.attempts[ok] = attempt + 1
+	return mix(c.seed, class, k, attempt)
+}
+
+// hit converts a draw into a fault decision at the given rate.
+func hit(h uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// fault records an injected fault and publishes it.
+func (c *Store) fault(class int, k key, count *int64) {
+	*count++
+	if c.obsv != nil {
+		c.obsv.OnEvent(obs.Event{
+			Kind: obs.KindFault, Proc: k.proc, Inc: -1,
+			Tag:   className(class),
+			Label: fmt.Sprintf("index=%d instance=%d", k.index, k.instance),
+		})
+	}
+}
+
+// latency sleeps a deterministic per-operation fraction of MaxLatency.
+// Called without the lock held.
+func (c *Store) latency(k key) {
+	if c.rates.MaxLatency <= 0 {
+		return
+	}
+	c.mu.Lock()
+	h := c.roll(classLatency, k)
+	c.mu.Unlock()
+	time.Sleep(time.Duration(float64(c.rates.MaxLatency) * float64(h>>11) / (1 << 53)))
+}
+
+// Save implements storage.Store.
+func (c *Store) Save(s storage.Snapshot) error {
+	k := key{s.Proc, s.CFGIndex, s.Instance}
+	c.latency(k)
+	c.mu.Lock()
+	if _, marked := c.corrupt[k]; marked {
+		// The key holds a torn partial from a failed earlier attempt and
+		// the inner store already has the clean body: treat the re-save as
+		// an atomic rewrite that repairs it.
+		delete(c.corrupt, k)
+		c.stats.Repairs++
+		c.mu.Unlock()
+		return nil
+	}
+	if hit(c.roll(classWrite, k), c.rates.WriteError) {
+		c.fault(classWrite, k, &c.stats.WriteErrors)
+		c.mu.Unlock()
+		return fmt.Errorf("%w: chaos: injected write error: proc=%d index=%d instance=%d",
+			storage.ErrTransient, k.proc, k.index, k.instance)
+	}
+	torn := hit(c.roll(classTorn, k), c.rates.TornWrite)
+	flip := !torn && hit(c.roll(classFlip, k), c.rates.BitFlip)
+	c.mu.Unlock()
+
+	if err := c.inner.Save(s); err != nil {
+		return err
+	}
+	if torn {
+		c.mu.Lock()
+		c.corrupt[k] = "torn write"
+		c.fault(classTorn, k, &c.stats.TornWrites)
+		c.mu.Unlock()
+		return fmt.Errorf("%w: chaos: torn write: proc=%d index=%d instance=%d",
+			storage.ErrTransient, k.proc, k.index, k.instance)
+	}
+	if flip {
+		c.mu.Lock()
+		c.corrupt[k] = "bit flip"
+		c.fault(classFlip, k, &c.stats.BitFlips)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// readFault rolls the read-error and corruption checks for key k.
+func (c *Store) readFault(k key) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hit(c.roll(classRead, k), c.rates.ReadError) {
+		c.fault(classRead, k, &c.stats.ReadErrors)
+		return fmt.Errorf("%w: chaos: injected read error: proc=%d index=%d instance=%d",
+			storage.ErrTransient, k.proc, k.index, k.instance)
+	}
+	if reason, marked := c.corrupt[k]; marked {
+		return fmt.Errorf("%w: chaos: %s: proc=%d index=%d instance=%d",
+			storage.ErrCorrupt, reason, k.proc, k.index, k.instance)
+	}
+	return nil
+}
+
+// Get implements storage.Store.
+func (c *Store) Get(proc, cfgIndex, instance int) (storage.Snapshot, error) {
+	k := key{proc, cfgIndex, instance}
+	c.latency(k)
+	if err := c.readFault(k); err != nil {
+		return storage.Snapshot{}, err
+	}
+	return c.inner.Get(proc, cfgIndex, instance)
+}
+
+// Latest implements storage.Store. The fault roll keys on (proc, index)
+// alone — instance -1 — so retries of the same Latest re-roll coherently.
+func (c *Store) Latest(proc, cfgIndex int) (storage.Snapshot, error) {
+	c.latency(key{proc, cfgIndex, -1})
+	c.mu.Lock()
+	if hit(c.roll(classRead, key{proc, cfgIndex, -1}), c.rates.ReadError) {
+		c.fault(classRead, key{proc, cfgIndex, -1}, &c.stats.ReadErrors)
+		c.mu.Unlock()
+		return storage.Snapshot{}, fmt.Errorf("%w: chaos: injected read error: proc=%d index=%d",
+			storage.ErrTransient, proc, cfgIndex)
+	}
+	c.mu.Unlock()
+	s, err := c.inner.Latest(proc, cfgIndex)
+	if err != nil {
+		return s, err
+	}
+	c.mu.Lock()
+	reason, marked := c.corrupt[key{proc, cfgIndex, s.Instance}]
+	c.mu.Unlock()
+	if marked {
+		return storage.Snapshot{}, fmt.Errorf("%w: chaos: %s: proc=%d index=%d instance=%d",
+			storage.ErrCorrupt, reason, proc, cfgIndex, s.Instance)
+	}
+	return s, nil
+}
+
+// List implements storage.Store. It is strict: a process with any marked
+// snapshot fails the whole listing, the way a chain scan stops at a
+// damaged record.
+func (c *Store) List(proc int) ([]storage.Snapshot, error) {
+	c.mu.Lock()
+	for k, reason := range c.corrupt {
+		if k.proc == proc {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: chaos: %s: proc=%d index=%d instance=%d",
+				storage.ErrCorrupt, reason, k.proc, k.index, k.instance)
+		}
+	}
+	c.mu.Unlock()
+	return c.inner.List(proc)
+}
+
+// Indexes implements storage.Store.
+func (c *Store) Indexes(n int) ([]int, error) { return c.inner.Indexes(n) }
+
+// Delete implements storage.Store.
+func (c *Store) Delete(proc, cfgIndex, instance int) error {
+	k := key{proc, cfgIndex, instance}
+	c.mu.Lock()
+	delete(c.corrupt, k)
+	c.mu.Unlock()
+	return c.inner.Delete(proc, cfgIndex, instance)
+}
+
+// Scrub implements storage.Scrubber: it removes every marked key from the
+// inner store so replay can regenerate it. Removal runs newest-first per
+// process (by the process's own vector-clock component, its local total
+// order) down to the oldest marked key, because delta-encoded inner stores
+// only allow tail deletion; still-healthy snapshots removed on the way
+// down are counted as collateral.
+func (c *Store) Scrub() (storage.ScrubReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rep storage.ScrubReport
+	pending := make(map[int]int) // proc -> marked keys remaining
+	for k := range c.corrupt {
+		pending[k.proc]++
+	}
+	procs := make([]int, 0, len(pending))
+	for p := range pending {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		snaps, err := c.inner.List(p)
+		if err != nil {
+			return rep, err
+		}
+		sort.Slice(snaps, func(i, j int) bool {
+			return snaps[i].Clock[p] > snaps[j].Clock[p]
+		})
+		for _, s := range snaps {
+			if pending[p] == 0 {
+				break
+			}
+			k := key{p, s.CFGIndex, s.Instance}
+			if err := c.inner.Delete(p, s.CFGIndex, s.Instance); err != nil {
+				return rep, err
+			}
+			if reason, marked := c.corrupt[k]; marked {
+				rep.Quarantined = append(rep.Quarantined, storage.SnapshotRef{
+					Proc: p, CFGIndex: s.CFGIndex, Instance: s.Instance, Reason: reason,
+				})
+				delete(c.corrupt, k)
+				pending[p]--
+			} else {
+				rep.Collateral++
+			}
+		}
+		// Marks with no backing snapshot (deleted out of band): clear them
+		// so they stop failing reads.
+		for k, reason := range c.corrupt {
+			if k.proc == p {
+				rep.Quarantined = append(rep.Quarantined, storage.SnapshotRef{
+					Proc: p, CFGIndex: k.index, Instance: k.instance, Reason: reason,
+				})
+				delete(c.corrupt, k)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Stats returns the fault counts so far.
+func (c *Store) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -21,7 +21,7 @@
 // Each line is one JSON object:
 //
 //	kind    string  event kind: send, recv, chkpt, compute, block,
-//	                rollback, restart, halt
+//	                rollback, restart, halt, fault, retry, scrub, degraded
 //	proc    int     process rank; -1 for run-level events
 //	inc     int     incarnation (0 until the first recovery)
 //	seq     int     position in the (inc, proc) local history
@@ -56,6 +56,14 @@ const (
 	KindRollback Kind = "rollback"
 	KindRestart  Kind = "restart"
 	KindHalt     Kind = "halt"
+	// Robustness kinds: the chaos layer and the hardened runtime publish
+	// every injected fault, every storage retry, every scrub quarantine,
+	// and every degraded recovery-line fallback so fault handling is as
+	// observable as the happy path.
+	KindFault    Kind = "fault"    // injected storage fault (Tag: fault class)
+	KindRetry    Kind = "retry"    // storage operation retried after a transient fault
+	KindScrub    Kind = "scrub"    // scrub pass quarantined corrupt snapshots
+	KindDegraded Kind = "degraded" // recovery fell back below the best straight cut
 )
 
 // MsgRef identifies an application message (sender, receiver, per-channel

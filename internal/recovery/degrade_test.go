@@ -1,0 +1,182 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// corruptStore wraps a Store and fails reads of chosen snapshots with
+// storage.ErrCorrupt — the minimal stand-in for a store whose integrity
+// checks reject damaged records.
+type corruptStore struct {
+	storage.Store
+	bad map[[3]int]bool
+}
+
+func (c *corruptStore) markBad(proc, index, instance int) {
+	if c.bad == nil {
+		c.bad = make(map[[3]int]bool)
+	}
+	c.bad[[3]int{proc, index, instance}] = true
+}
+
+func (c *corruptStore) Get(proc, index, instance int) (storage.Snapshot, error) {
+	if c.bad[[3]int{proc, index, instance}] {
+		return storage.Snapshot{}, fmt.Errorf("%w: proc=%d index=%d instance=%d", storage.ErrCorrupt, proc, index, instance)
+	}
+	return c.Store.Get(proc, index, instance)
+}
+
+func (c *corruptStore) Latest(proc, index int) (storage.Snapshot, error) {
+	s, err := c.Store.Latest(proc, index)
+	if err != nil {
+		return s, err
+	}
+	if c.bad[[3]int{proc, index, s.Instance}] {
+		return storage.Snapshot{}, fmt.Errorf("%w: proc=%d index=%d instance=%d", storage.ErrCorrupt, proc, index, s.Instance)
+	}
+	return s, nil
+}
+
+func TestStraightCutDegradesToOlderInstance(t *testing.T) {
+	st := &corruptStore{Store: storage.NewMemory()}
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 0, 1, 1, vclock.VC{5, 2})
+	save(t, st, 1, 1, 0, vclock.VC{0, 1})
+	save(t, st, 1, 1, 1, vclock.VC{2, 5})
+	// The best cut (instance 1) has a corrupt member: fall back to
+	// instance 0 and report one degradation step.
+	st.markBad(0, 1, 1)
+	line, err := StraightCut(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range line.Snapshots {
+		if s.Instance != 0 {
+			t.Errorf("proc %d restored instance %d, want 0", p, s.Instance)
+		}
+	}
+	if line.Degraded == 0 {
+		t.Error("Degraded = 0, want > 0 (the best cut was skipped)")
+	}
+}
+
+func TestStraightCutDegradesToOlderIndex(t *testing.T) {
+	st := &corruptStore{Store: storage.NewMemory()}
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 1, 1, 0, vclock.VC{0, 1})
+	save(t, st, 0, 2, 0, vclock.VC{7, 5})
+	save(t, st, 1, 2, 0, vclock.VC{5, 7})
+	// The whole deeper index is unreadable: recovery must choose R_1.
+	st.markBad(0, 2, 0)
+	st.markBad(1, 2, 0)
+	line, err := StraightCut(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Snapshots[0].CFGIndex != 1 {
+		t.Errorf("chose index %d, want 1", line.Snapshots[0].CFGIndex)
+	}
+	if line.Degraded == 0 {
+		t.Error("Degraded = 0, want > 0")
+	}
+}
+
+func TestStraightCutAllCorruptReportsNoRecoveryLine(t *testing.T) {
+	st := &corruptStore{Store: storage.NewMemory()}
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 1, 1, 0, vclock.VC{0, 1})
+	st.markBad(0, 1, 0)
+	st.markBad(1, 1, 0)
+	_, err := StraightCut(st, 2)
+	if !errors.Is(err, ErrNoRecoveryLine) {
+		t.Fatalf("err = %v, want ErrNoRecoveryLine (bottom of the degradation ladder)", err)
+	}
+}
+
+func TestStraightCutCleanStoreReportsNoDegradation(t *testing.T) {
+	st := storage.NewMemory()
+	save(t, st, 0, 1, 0, vclock.VC{1, 0})
+	save(t, st, 1, 1, 0, vclock.VC{0, 1})
+	line, err := StraightCut(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Degraded != 0 {
+		t.Errorf("Degraded = %d on a healthy store, want 0", line.Degraded)
+	}
+}
+
+// TestStraightCutFallsBackOverCorruptDeltaChain is the end-to-end
+// incremental-store corruption case: a rotted delta-chain base must
+// surface storage.ErrCorrupt (never a bogus reconstruction) and recovery
+// must degrade to an older, still-verifiable cut.
+func TestStraightCutFallsBackOverCorruptDeltaChain(t *testing.T) {
+	inc := storage.NewIncremental(8)
+	saveSnap := func(proc, index, instance int, clock vclock.VC, x int) {
+		t.Helper()
+		err := inc.Save(storage.Snapshot{
+			Proc: proc, CFGIndex: index, Instance: instance, Clock: clock,
+			Vars: map[string]int{"x": x, "c": 42},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two straight cuts per process; proc 0's records form a delta chain
+	// rooted at (0, 1, #0).
+	saveSnap(0, 1, 0, vclock.VC{1, 0}, 1)
+	saveSnap(0, 2, 0, vclock.VC{3, 1}, 2)
+	saveSnap(1, 1, 0, vclock.VC{0, 1}, 1)
+	saveSnap(1, 2, 0, vclock.VC{1, 3}, 2)
+
+	// Rot a variable the deltas never re-write: the base AND everything
+	// chained on it must fail verification.
+	if err := inc.Tamper(0, 1, 0, func(vars map[string]int) { vars["c"] = 999 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Get(0, 2, 0); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("reconstruction over rotted base = %v, want ErrCorrupt", err)
+	}
+	// The whole chain of proc 0 is poisoned: no cut remains.
+	if _, err := StraightCut(inc, 2); !errors.Is(err, ErrNoRecoveryLine) {
+		t.Fatalf("err = %v, want ErrNoRecoveryLine", err)
+	}
+
+	// Rot only the newest record instead: recovery degrades to R_1.
+	inc2 := storage.NewIncremental(8)
+	saveViaStore := func(st *storage.Incremental, proc, index, instance int, clock vclock.VC, x int) {
+		t.Helper()
+		err := st.Save(storage.Snapshot{
+			Proc: proc, CFGIndex: index, Instance: instance, Clock: clock,
+			Vars: map[string]int{"x": x, "c": 42},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	saveViaStore(inc2, 0, 1, 0, vclock.VC{1, 0}, 1)
+	saveViaStore(inc2, 0, 2, 0, vclock.VC{3, 1}, 2)
+	saveViaStore(inc2, 1, 1, 0, vclock.VC{0, 1}, 1)
+	saveViaStore(inc2, 1, 2, 0, vclock.VC{1, 3}, 2)
+	if err := inc2.Tamper(0, 2, 0, func(vars map[string]int) { vars["c"] = 999 }); err != nil {
+		t.Fatal(err)
+	}
+	line, err := StraightCut(inc2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Snapshots[0].CFGIndex != 1 {
+		t.Fatalf("chose index %d, want degraded fallback to 1", line.Snapshots[0].CFGIndex)
+	}
+	if line.Degraded == 0 {
+		t.Error("Degraded = 0, want > 0")
+	}
+	if line.Snapshots[0].Vars["x"] != 1 || line.Snapshots[0].Vars["c"] != 42 {
+		t.Errorf("fallback cut vars = %v, want verified originals", line.Snapshots[0].Vars)
+	}
+}

@@ -41,6 +41,12 @@ type Line struct {
 	// positive values for uncoordinated recovery measure the domino
 	// effect).
 	Rollbacks int
+	// Degraded counts candidate straight cuts that failed to load
+	// (corrupt, quarantined, or unreadable snapshots) and were skipped
+	// during selection. 0 means the line is the best cut stable storage
+	// claims to hold; positive values measure how far recovery had to
+	// degrade because storage misbehaved.
+	Degraded int
 }
 
 // consistent reports whether no snapshot in the cut happened before
@@ -56,6 +62,12 @@ func consistent(cut []storage.Snapshot) (int, int, bool) {
 	return 0, 0, true
 }
 
+// maxInstanceProbe bounds how many instances below a candidate index's
+// common frontier the degraded-selection probe descends. Probing is linear
+// in n per step; the bound keeps pathological stores (a long fully-corrupt
+// instance chain) from turning selection into a full scan.
+const maxInstanceProbe = 32
+
 // StraightCut returns the recovery line for the application-driven scheme:
 // the straight cut R_i with the largest common (index, instance) progress.
 // For each checkpoint index i present on every process it considers the
@@ -63,6 +75,17 @@ func consistent(cut []storage.Snapshot) (int, int, bool) {
 // C_{p,i}, and picks the candidate with the greatest total progress
 // (vector-clock component sum). The chosen cut's consistency is verified;
 // an inconsistent straight cut is reported as ErrInconsistentCut.
+//
+// Selection degrades gracefully when stable storage misbehaves: a
+// candidate cut whose snapshots fail to load (storage.ErrCorrupt from a
+// damaged file or delta chain, storage.ErrNotFound after quarantine, or a
+// persistent read fault) is skipped and the next-deepest candidate — an
+// older instance of the same index, then older indexes — is probed
+// instead. Every skipped candidate is counted in Line.Degraded so callers
+// can report how far recovery fell below the best cut storage claimed to
+// hold. Only when no candidate loads at all does StraightCut return
+// ErrNoRecoveryLine, telling the runtime to restart from the initial
+// state — the bottom of the degradation ladder.
 func StraightCut(st storage.Store, n int) (*Line, error) {
 	indexes, err := st.Indexes(n)
 	if err != nil {
@@ -73,31 +96,55 @@ func StraightCut(st storage.Store, n int) (*Line, error) {
 	}
 	var best []storage.Snapshot
 	bestScore := uint64(0)
+	degraded := 0
 	for _, idx := range indexes {
-		// Common instance: the minimum of the per-process latest instances.
+		// Common frontier: the minimum of the per-process latest
+		// instances. A process whose frontier is unreadable (its newest
+		// instance is corrupt) leaves the frontier to the others; the
+		// probe below discovers its deepest loadable instance.
 		k := -1
+		anyFrontier := false
 		for p := 0; p < n; p++ {
 			latest, err := st.Latest(p, idx)
 			if err != nil {
-				return nil, err
+				continue
 			}
+			anyFrontier = true
 			if k < 0 || latest.Instance < k {
 				k = latest.Instance
 			}
 		}
-		cut := make([]storage.Snapshot, n)
-		ok := true
-		for p := 0; p < n; p++ {
-			s, err := st.Get(p, idx, k)
-			if err != nil {
-				// A process skipped this instance (should not happen for
-				// SPMD programs; be conservative and skip the candidate).
-				ok = false
+		if !anyFrontier {
+			// Index present by name on every process but nothing loads.
+			degraded++
+			continue
+		}
+		// Probe instances from the frontier downward until a fully
+		// loadable cut appears; each failed (idx, instance) candidate is
+		// one degradation step.
+		found := false
+		var cut []storage.Snapshot
+		for probes := 0; k >= 0 && probes < maxInstanceProbe; k, probes = k-1, probes+1 {
+			cut = make([]storage.Snapshot, n)
+			ok := true
+			for p := 0; p < n; p++ {
+				s, err := st.Get(p, idx, k)
+				if err != nil {
+					// Corrupt, quarantined, or skipped instance (the
+					// latter should not happen for SPMD programs):
+					// degrade to the next-deepest candidate.
+					ok = false
+					break
+				}
+				cut[p] = s
+			}
+			if ok {
+				found = true
 				break
 			}
-			cut[p] = s
+			degraded++
 		}
-		if !ok {
+		if !found {
 			continue
 		}
 		score := uint64(0)
@@ -112,7 +159,7 @@ func StraightCut(st storage.Store, n int) (*Line, error) {
 		}
 	}
 	if best == nil {
-		return nil, ErrNoRecoveryLine
+		return nil, fmt.Errorf("%w: %d candidate cut(s) failed to load", ErrNoRecoveryLine, degraded)
 	}
 	if i, j, ok := consistent(best); !ok {
 		return nil, fmt.Errorf("%w: C_{p%d,i%d}#%d happened before C_{p%d,i%d}#%d",
@@ -120,7 +167,7 @@ func StraightCut(st storage.Store, n int) (*Line, error) {
 			best[i].Proc, best[i].CFGIndex, best[i].Instance,
 			best[j].Proc, best[j].CFGIndex, best[j].Instance)
 	}
-	return &Line{Snapshots: best}, nil
+	return &Line{Snapshots: best, Degraded: degraded}, nil
 }
 
 // LatestConsistent implements uncoordinated recovery: start from each

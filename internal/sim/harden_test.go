@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// flakyStore fails the next `fails` Save calls with storage.ErrTransient,
+// then behaves normally — the minimal model of a storage brown-out.
+type flakyStore struct {
+	storage.Store
+	fails int64
+}
+
+func (f *flakyStore) Save(s storage.Snapshot) error {
+	if atomic.AddInt64(&f.fails, -1) >= 0 {
+		return fmt.Errorf("%w: injected save fault", storage.ErrTransient)
+	}
+	return f.Store.Save(s)
+}
+
+func TestRetryRecoversTransientSaveFaults(t *testing.T) {
+	p := corpus.JacobiFig1(4)
+	clean := runOK(t, p, 4)
+	flaky := &flakyStore{Store: storage.NewMemory(), fails: 2}
+	res := runOK(t, p, 4, func(c *Config) {
+		c.Store = flaky
+	})
+	if res.Restarts != 0 {
+		t.Fatalf("restarts = %d, want 0 (retry should absorb the faults)", res.Restarts)
+	}
+	if got := res.Metrics.Custom[MetricStoreRetries]; got < 2 {
+		t.Errorf("%s = %d, want >= 2", MetricStoreRetries, got)
+	}
+	if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+		t.Errorf("flaky-store run diverged:\nclean: %v\nflaky: %v", clean.FinalVars, res.FinalVars)
+	}
+}
+
+func TestExhaustedSaveBecomesCrashAndRecovers(t *testing.T) {
+	p := corpus.JacobiFig1(4)
+	clean := runOK(t, p, 4)
+	// Retry disabled: every injected fault immediately exhausts its save,
+	// which must surface as a process crash followed by ordinary recovery —
+	// never as a failed run.
+	flaky := &flakyStore{Store: storage.NewMemory(), fails: 2}
+	res := runOK(t, p, 4, func(c *Config) {
+		c.Store = flaky
+		c.MaxStoreAttempts = 1
+		c.MaxRestarts = 5
+	})
+	if res.Restarts < 1 {
+		t.Fatalf("restarts = %d, want >= 1 (save outage must crash the process)", res.Restarts)
+	}
+	if got := res.Metrics.Custom[MetricStoreRetryExhausted]; got < 1 {
+		t.Errorf("%s = %d, want >= 1", MetricStoreRetryExhausted, got)
+	}
+	if got := res.Metrics.Custom[MetricSaveCrashes]; got < 1 {
+		t.Errorf("%s = %d, want >= 1", MetricSaveCrashes, got)
+	}
+	if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+		t.Errorf("save-outage run diverged:\nclean: %v\ngot: %v", clean.FinalVars, res.FinalVars)
+	}
+}
+
+func TestConcurrentCrashesConverge(t *testing.T) {
+	p := corpus.JacobiFig1(4)
+	clean := runOK(t, p, 4)
+	res := runOK(t, p, 4, func(c *Config) {
+		c.Crashes = []Crash{
+			{Inc: 0, Proc: 0, AfterEvents: 6},
+			{Inc: 0, Proc: 2, AfterEvents: 6},
+		}
+	})
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (both crashes fall in one incarnation)", res.Restarts)
+	}
+	if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+		t.Errorf("concurrent-crash run diverged:\nclean: %v\ngot: %v", clean.FinalVars, res.FinalVars)
+	}
+}
+
+func TestCrashDuringRecoveryConverges(t *testing.T) {
+	p := corpus.JacobiFig1(4)
+	clean := runOK(t, p, 4)
+	// The second crash strikes incarnation 1 — while the application is
+	// still replaying from the first recovery line.
+	res := runOK(t, p, 4, func(c *Config) {
+		c.Crashes = []Crash{
+			{Inc: 0, Proc: 1, AfterEvents: 10},
+			{Inc: 1, Proc: 2, AfterEvents: 6},
+		}
+	})
+	if res.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2", res.Restarts)
+	}
+	if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+		t.Errorf("crash-during-recovery run diverged:\nclean: %v\ngot: %v", clean.FinalVars, res.FinalVars)
+	}
+}
+
+func TestCrashCombinesWithPositionalFailures(t *testing.T) {
+	p := corpus.JacobiFig1(4)
+	clean := runOK(t, p, 4)
+	// A Crash and a Failures entry name the same process in the same
+	// incarnation: the earlier trigger (AfterEvents 4) must win.
+	res := runOK(t, p, 4, func(c *Config) {
+		c.Failures = []Failure{{Proc: 1, AfterEvents: 20}}
+		c.Crashes = []Crash{{Inc: 0, Proc: 1, AfterEvents: 4}}
+	})
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", res.Restarts)
+	}
+	if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+		t.Errorf("combined-schedule run diverged: %v vs %v", clean.FinalVars, res.FinalVars)
+	}
+}
+
+func TestCrashValidation(t *testing.T) {
+	p := corpus.JacobiFig1(3)
+	if _, err := Run(Config{
+		Program: p, Nproc: 3, Timeout: 5 * time.Second,
+		Crashes: []Crash{{Inc: 0, Proc: 7, AfterEvents: 1}},
+	}); err == nil {
+		t.Error("out-of-range crash proc accepted")
+	}
+	if _, err := Run(Config{
+		Program: p, Nproc: 3, Timeout: 5 * time.Second,
+		VCrashes: []VCrash{{Inc: 0, Proc: 1, At: 1}},
+	}); err == nil {
+		t.Error("VCrashes without Config.Time accepted")
+	}
+}
+
+func TestRetryExhaustionOnReadIsNotMaskedAsCrash(t *testing.T) {
+	// Only checkpoint SAVES convert exhaustion into a crash; transient
+	// exhaustion elsewhere still surfaces the typed error to the caller.
+	inner := storage.NewMemory()
+	rst := newRetryStore(&alwaysTransient{inner}, 3, 1, &metrics.Counters{}, nil)
+	if _, err := rst.Latest(0, 1); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("err = %v, want wrapped ErrTransient", err)
+	}
+}
+
+// alwaysTransient fails every operation transiently.
+type alwaysTransient struct{ storage.Store }
+
+func (a *alwaysTransient) Latest(proc, idx int) (storage.Snapshot, error) {
+	return storage.Snapshot{}, fmt.Errorf("%w: down", storage.ErrTransient)
+}

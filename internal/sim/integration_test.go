@@ -161,6 +161,77 @@ func TestFailureAtEveryPoint(t *testing.T) {
 	}
 }
 
+// TestCrashDuringRecoverySweep sweeps crash points across incarnation 1 —
+// the crash strikes while the application is replaying from the first
+// recovery line — and across a three-deep cascade (incarnations 0, 1, 2).
+// Every schedule must converge to the clean result.
+func TestCrashDuringRecoverySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short")
+	}
+	rep, err := core.Transform(corpus.JacobiFig2(3), core.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := runOK(t, rep.Program, 3)
+	hitIncOne := 0
+	for victim := 0; victim < 3; victim++ {
+		for after := 1; after <= 40; after += 4 {
+			failed, err := Run(Config{
+				Program: rep.Program,
+				Nproc:   3,
+				// Proc 0 is always active in this program (rank 2's
+				// partner is out of range, so rank 2 idles early); anchor
+				// the first crash there so incarnation 1 always exists.
+				Crashes: []Crash{
+					{Inc: 0, Proc: 0, AfterEvents: 10},
+					{Inc: 1, Proc: victim, AfterEvents: after},
+				},
+				Timeout: 20 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("victim %d after %d in inc 1: %v", victim, after, err)
+			}
+			// A crash point past the end of the replay never fires, so
+			// restarts is 1 or 2 depending on where the sweep landed.
+			switch failed.Restarts {
+			case 1:
+			case 2:
+				hitIncOne++
+			default:
+				t.Fatalf("victim %d after %d: restarts = %d, want 1 or 2", victim, after, failed.Restarts)
+			}
+			if !reflect.DeepEqual(clean.FinalVars, failed.FinalVars) {
+				t.Fatalf("victim %d after %d in inc 1: diverged", victim, after)
+			}
+		}
+	}
+	if hitIncOne == 0 {
+		t.Fatal("no sweep point crashed incarnation 1 — the sweep tested nothing")
+	}
+	// Three-deep cascade with concurrent crashes in the middle incarnation.
+	failed, err := Run(Config{
+		Program: rep.Program,
+		Nproc:   3,
+		Crashes: []Crash{
+			{Inc: 0, Proc: 0, AfterEvents: 10},
+			{Inc: 1, Proc: 0, AfterEvents: 8},
+			{Inc: 1, Proc: 1, AfterEvents: 8},
+			{Inc: 2, Proc: 1, AfterEvents: 12},
+		},
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.Restarts < 2 {
+		t.Fatalf("cascade restarts = %d, want >= 2", failed.Restarts)
+	}
+	if !reflect.DeepEqual(clean.FinalVars, failed.FinalVars) {
+		t.Fatal("cascade diverged")
+	}
+}
+
 // TestStoreHoldsLatestInstancesOnly verifies rollback pruning: after a
 // recovery, the store never holds two snapshots claiming the same
 // (proc,index,instance) and replay regenerates the pruned suffix.

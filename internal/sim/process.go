@@ -275,6 +275,15 @@ func (p *Proc) TakeCheckpoint(idx int) error {
 	}
 	saveStart := stdtime.Now()
 	if err := p.store.Save(snap); err != nil {
+		if errors.Is(err, storage.ErrTransient) {
+			// The save exhausted its retries. A process that cannot persist
+			// its checkpoint is indistinguishable from a crashed one, so
+			// convert the outage into a crash: the runtime rolls back to
+			// the last recovery line and replays, instead of failing the
+			// whole run.
+			p.counters.Inc(MetricSaveCrashes, 1)
+			return fmt.Errorf("%w: process %d checkpoint save: %v", ErrProcFailed, p.rank, err)
+		}
 		return err
 	}
 	p.counters.ObserveHist(HistChkptSaveMS, float64(stdtime.Since(saveStart).Nanoseconds())/1e6)

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	stdtime "time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// Custom metrics counter names the hardened runtime records (in
+// metrics.Snapshot.Custom). They are part of the metrics-stream contract:
+// chaos soaks assert on them, and dashboards chart them.
+const (
+	// MetricStoreRetries counts storage operations retried after a
+	// transient fault.
+	MetricStoreRetries = "storage_retries"
+	// MetricStoreRetryExhausted counts storage operations that kept
+	// failing transiently through every backoff attempt.
+	MetricStoreRetryExhausted = "storage_retry_exhausted"
+	// MetricRecoveryDegraded accumulates recovery.Line.Degraded: candidate
+	// recovery cuts skipped because their snapshots would not load.
+	MetricRecoveryDegraded = "recovery_degraded"
+	// MetricScrubQuarantined counts snapshots quarantined by pre-rollback
+	// scrub passes.
+	MetricScrubQuarantined = "storage_quarantined"
+	// MetricSaveCrashes counts checkpoint saves that exhausted their
+	// retries and were converted into a process crash (recovery then
+	// rolls the application back instead of killing the run).
+	MetricSaveCrashes = "chkpt_save_crashes"
+)
+
+// Retry tuning: capped exponential backoff with ±50% jitter. The base is
+// small because simulated storage faults clear quickly; the cap bounds
+// recovery latency when a fault burst hits every attempt.
+const (
+	defaultStoreAttempts = 6
+	retryBaseDelay       = 1 * stdtime.Millisecond
+	retryMaxDelay        = 50 * stdtime.Millisecond
+)
+
+// retryStore wraps the run's stable storage with bounded retry on
+// transient faults (storage.ErrTransient): capped exponential backoff plus
+// seeded jitter, a retry counter, and a retry event per attempt on the
+// observer. Non-transient errors (not-found, duplicate, corrupt) pass
+// through untouched — retrying cannot fix them and the recovery layer
+// handles them by degrading.
+type retryStore struct {
+	inner    storage.Store
+	attempts int
+	counters *metrics.Counters
+	obsv     obs.Observer
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ storage.Store = (*retryStore)(nil)
+
+// newRetryStore wraps inner. attempts <= 0 selects the default; 1 disables
+// retry. The seed only perturbs backoff jitter (wall time), never results.
+func newRetryStore(inner storage.Store, attempts int, seed int64, counters *metrics.Counters, obsv obs.Observer) *retryStore {
+	if attempts <= 0 {
+		attempts = defaultStoreAttempts
+	}
+	return &retryStore{
+		inner:    inner,
+		attempts: attempts,
+		counters: counters,
+		obsv:     obsv,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// do runs op with retry-on-transient. It returns the final error, still
+// matching storage.ErrTransient when every attempt failed transiently.
+func (r *retryStore) do(op string, f func() error) error {
+	backoff := retryBaseDelay
+	var err error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			r.counters.Inc(MetricStoreRetries, 1)
+			if r.obsv != nil {
+				r.obsv.OnEvent(obs.Event{
+					Kind: obs.KindRetry, Proc: -1, Inc: -1,
+					Tag: op, Label: err.Error(),
+				})
+			}
+			stdtime.Sleep(r.jittered(backoff))
+			backoff *= 2
+			if backoff > retryMaxDelay {
+				backoff = retryMaxDelay
+			}
+		}
+		err = f()
+		if err == nil || !errors.Is(err, storage.ErrTransient) {
+			return err
+		}
+	}
+	r.counters.Inc(MetricStoreRetryExhausted, 1)
+	return fmt.Errorf("sim: storage %s failed after %d attempts: %w", op, r.attempts, err)
+}
+
+// jittered perturbs d by ±50% so synchronized retries from many processes
+// spread out instead of hammering storage in lockstep.
+func (r *retryStore) jittered(d stdtime.Duration) stdtime.Duration {
+	r.mu.Lock()
+	f := 0.5 + r.rng.Float64()
+	r.mu.Unlock()
+	return stdtime.Duration(float64(d) * f)
+}
+
+func (r *retryStore) Save(s storage.Snapshot) error {
+	return r.do("save", func() error { return r.inner.Save(s) })
+}
+
+func (r *retryStore) Get(proc, cfgIndex, instance int) (storage.Snapshot, error) {
+	var s storage.Snapshot
+	err := r.do("get", func() (err error) {
+		s, err = r.inner.Get(proc, cfgIndex, instance)
+		return err
+	})
+	return s, err
+}
+
+func (r *retryStore) Latest(proc, cfgIndex int) (storage.Snapshot, error) {
+	var s storage.Snapshot
+	err := r.do("latest", func() (err error) {
+		s, err = r.inner.Latest(proc, cfgIndex)
+		return err
+	})
+	return s, err
+}
+
+func (r *retryStore) List(proc int) ([]storage.Snapshot, error) {
+	var out []storage.Snapshot
+	err := r.do("list", func() (err error) {
+		out, err = r.inner.List(proc)
+		return err
+	})
+	return out, err
+}
+
+func (r *retryStore) Indexes(n int) ([]int, error) {
+	var out []int
+	err := r.do("indexes", func() (err error) {
+		out, err = r.inner.Indexes(n)
+		return err
+	})
+	return out, err
+}
+
+func (r *retryStore) Delete(proc, cfgIndex, instance int) error {
+	return r.do("delete", func() error { return r.inner.Delete(proc, cfgIndex, instance) })
+}

@@ -26,6 +26,25 @@ type Failure struct {
 	AfterEvents int
 }
 
+// Crash schedules an injected crash addressed by incarnation. Unlike the
+// positional Failures list (one entry per incarnation), Crashes can name
+// several processes in the same incarnation — concurrent failures — and
+// target incarnations k >= 1 without padding — failures that strike while
+// the application is still replaying from a recovery line.
+type Crash struct {
+	Inc         int // incarnation the crash applies to
+	Proc        int
+	AfterEvents int
+}
+
+// VCrash is Crash in virtual time: process Proc fails when its virtual
+// clock reaches At during incarnation Inc (requires Config.Time).
+type VCrash struct {
+	Inc  int
+	Proc int
+	At   float64
+}
+
 // RecoveryFunc chooses the recovery line after a failure. The default is
 // recovery.StraightCut. Returning recovery.ErrNoRecoveryLine restarts the
 // application from its initial state.
@@ -54,8 +73,23 @@ type Config struct {
 	// VFailures[k] crashes a process when its virtual clock reaches the
 	// given time during incarnation k (requires Time).
 	VFailures []VFailure
-	// MaxRestarts bounds recovery attempts (default: len(Failures)+1).
+	// Crashes schedules additional crashes by (incarnation, process); see
+	// Crash. When several triggers name the same process in the same
+	// incarnation, the earliest event count wins.
+	Crashes []Crash
+	// VCrashes schedules additional virtual-time crashes by incarnation
+	// (requires Time); the earliest time wins on collision.
+	VCrashes []VCrash
+	// MaxRestarts bounds recovery attempts (default: one more than the
+	// total number of scheduled failures).
 	MaxRestarts int
+	// MaxStoreAttempts bounds the attempts per stable-storage operation
+	// when the store reports transient faults (storage.ErrTransient);
+	// attempts back off exponentially with jitter. 0 selects the default
+	// (6); 1 disables retry. A checkpoint save that exhausts its attempts
+	// crashes the saving process, turning a storage outage into an
+	// ordinary recovery instead of a failed run.
+	MaxStoreAttempts int
 	// Recover chooses the recovery line (default recovery.StraightCut).
 	Recover RecoveryFunc
 	// DisableTrace skips event recording (benchmarks).
@@ -123,7 +157,27 @@ func Run(cfg Config) (*Result, error) {
 	}
 	maxRestarts := cfg.MaxRestarts
 	if maxRestarts <= 0 {
-		maxRestarts = len(cfg.Failures) + 1
+		maxRestarts = len(cfg.Failures) + len(cfg.VFailures) +
+			len(cfg.Crashes) + len(cfg.VCrashes) + 1
+	}
+	for _, c := range cfg.Crashes {
+		if c.Proc < 0 || c.Proc >= cfg.Nproc {
+			return nil, fmt.Errorf("sim: crash names process %d of %d", c.Proc, cfg.Nproc)
+		}
+		if c.Inc < 0 {
+			return nil, fmt.Errorf("sim: crash names incarnation %d", c.Inc)
+		}
+	}
+	for _, c := range cfg.VCrashes {
+		if c.Proc < 0 || c.Proc >= cfg.Nproc {
+			return nil, fmt.Errorf("sim: vcrash names process %d of %d", c.Proc, cfg.Nproc)
+		}
+		if c.Inc < 0 {
+			return nil, fmt.Errorf("sim: vcrash names incarnation %d", c.Inc)
+		}
+		if cfg.Time == nil {
+			return nil, errors.New("sim: VCrashes require Config.Time")
+		}
 	}
 	chooseLine := cfg.Recover
 	if chooseLine == nil {
@@ -138,6 +192,10 @@ func Run(cfg Config) (*Result, error) {
 	net := NewNetwork(n)
 	counters := &metrics.Counters{}
 	res := &Result{Store: st}
+	// Every runtime access to stable storage goes through the retry
+	// wrapper; Result.Store and Scrub still see the caller's store
+	// directly. The seed only perturbs backoff jitter, never results.
+	rst := newRetryStore(st, cfg.MaxStoreAttempts, cfg.Jitter+0x5bd1e995, counters, cfg.Observer)
 
 	var line *recovery.Line // nil = start from scratch
 	var restartV float64    // wall (virtual) time at which the restart begins
@@ -169,10 +227,26 @@ func Run(cfg Config) (*Result, error) {
 			}
 			vfailAt[f.Proc] = f.At
 		}
+		for _, c := range cfg.Crashes {
+			if c.Inc != incarnation {
+				continue
+			}
+			if failAfter[c.Proc] < 0 || c.AfterEvents < failAfter[c.Proc] {
+				failAfter[c.Proc] = c.AfterEvents
+			}
+		}
+		for _, c := range cfg.VCrashes {
+			if c.Inc != incarnation {
+				continue
+			}
+			if vfailAt[c.Proc] < 0 || c.At < vfailAt[c.Proc] {
+				vfailAt[c.Proc] = c.At
+			}
+		}
 
 		procs := make([]*Proc, n)
 		for r := 0; r < n; r++ {
-			procs[r] = newProc(r, code, net, tr, st, counters, hooksFactory(r, n),
+			procs[r] = newProc(r, code, net, tr, rst, counters, hooksFactory(r, n),
 				cfg.Input, maxSteps, failAfter[r], cfg.Time, vfailAt[r],
 				cfg.Observer, incarnation)
 			if cfg.Jitter != 0 {
@@ -269,12 +343,41 @@ func Run(cfg Config) (*Result, error) {
 		if res.Restarts > maxRestarts {
 			return nil, fmt.Errorf("sim: exceeded %d restarts: %w", maxRestarts, failure)
 		}
-		line, err = chooseLine(st, n)
+		// Choose the line BEFORE scrubbing: selection must see corrupt
+		// snapshots fail to load so Line.Degraded reports how far recovery
+		// fell. Scrubbing afterwards clears the damaged keys from the
+		// namespace, so the replay can regenerate them without tripping
+		// over duplicates.
+		line, err = chooseLine(rst, n)
 		switch {
 		case errors.Is(err, recovery.ErrNoRecoveryLine):
 			line = nil // restart from scratch
 		case err != nil:
 			return nil, err
+		}
+		if scr, ok := st.(storage.Scrubber); ok {
+			rep, err := scr.Scrub()
+			if err != nil {
+				return nil, err
+			}
+			if q := len(rep.Quarantined); q > 0 || rep.TempFiles > 0 {
+				counters.Inc(MetricScrubQuarantined, q)
+				if cfg.Observer != nil {
+					cfg.Observer.OnEvent(obs.Event{
+						Kind: obs.KindScrub, Proc: -1, Inc: incarnation,
+						Label: fmt.Sprintf("quarantined %d snapshot(s), removed %d temp file(s)", q, rep.TempFiles),
+					})
+				}
+			}
+		}
+		if line != nil && line.Degraded > 0 {
+			counters.Inc(MetricRecoveryDegraded, line.Degraded)
+			if cfg.Observer != nil {
+				cfg.Observer.OnEvent(obs.Event{
+					Kind: obs.KindDegraded, Proc: -1, Inc: incarnation,
+					Label: fmt.Sprintf("recovery skipped %d candidate cut(s)", line.Degraded),
+				})
+			}
 		}
 		if cfg.Observer != nil {
 			label := "from scratch"
@@ -288,13 +391,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if line != nil {
 			res.RolledBack += line.Rollbacks
-			if err := pruneStore(st, line); err != nil {
+			if err := pruneStore(rst, line); err != nil {
 				return nil, err
 			}
 			sendSeq, recvSeq := seqMatrices(line, n)
 			net.ResetForRecovery(sendSeq, recvSeq)
 		} else {
-			if err := clearStore(st, n); err != nil {
+			if err := clearStore(rst, n); err != nil {
 				return nil, err
 			}
 			zero := make([][]int, n)

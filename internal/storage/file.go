@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -15,13 +16,20 @@ import (
 
 // File is a durable Store that writes each snapshot as one file under a
 // directory, framed as [4-byte big-endian CRC32][JSON body]. Writes go
-// through a temp file + rename so a crash never leaves a torn snapshot
-// visible, and reads verify the CRC so silent corruption surfaces as an
-// error rather than a bogus restart state.
+// through a temp file + fsync + rename + directory fsync, so neither a
+// torn snapshot nor a lost acknowledged checkpoint can survive a host
+// crash. Reads verify the CRC so silent corruption surfaces as ErrCorrupt
+// rather than a bogus restart state, and Scrub quarantines damaged files
+// so the namespace heals after corruption is detected.
 type File struct {
 	dir string
 	mu  sync.Mutex
 }
+
+// quarantineDir is where Scrub moves damaged snapshot files, relative to
+// the store root. It keeps the evidence for post-mortems without letting
+// the corrupt file shadow a regenerated checkpoint.
+const quarantineDir = "quarantine"
 
 var _ Store = (*File)(nil)
 
@@ -102,7 +110,26 @@ func (f *File) Save(s Snapshot) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: publish snapshot: %w", err)
 	}
+	// The rename is only durable once the directory entry itself is on
+	// disk: without this fsync a host crash can lose an acknowledged
+	// checkpoint even though the data blocks were synced above.
+	if err := syncDir(f.dir); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (f *File) load(path string) (Snapshot, error) {
@@ -114,20 +141,73 @@ func (f *File) load(path string) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("storage: read snapshot: %w", err)
 	}
 	if len(frame) < 4 {
-		return Snapshot{}, fmt.Errorf("storage: snapshot %s truncated", filepath.Base(path))
+		return Snapshot{}, fmt.Errorf("%w: %s truncated", ErrCorrupt, filepath.Base(path))
 	}
 	want := binary.BigEndian.Uint32(frame[:4])
 	body := frame[4:]
 	if got := crc32.ChecksumIEEE(body); got != want {
-		return Snapshot{}, fmt.Errorf("storage: snapshot %s corrupt: crc %08x != %08x",
-			filepath.Base(path), got, want)
+		return Snapshot{}, fmt.Errorf("%w: %s crc %08x != %08x",
+			ErrCorrupt, filepath.Base(path), got, want)
 	}
 	var s Snapshot
 	if err := json.Unmarshal(body, &s); err != nil {
-		return Snapshot{}, fmt.Errorf("storage: decode snapshot %s: %w", filepath.Base(path), err)
+		return Snapshot{}, fmt.Errorf("%w: %s undecodable: %v", ErrCorrupt, filepath.Base(path), err)
 	}
 	return s, nil
 }
+
+// Scrub implements Scrubber: it verifies every snapshot file and moves the
+// damaged ones into the quarantine subdirectory (plus removes abandoned
+// temp files from interrupted saves). After a scrub, reads and saves
+// behave as if the damaged snapshots never existed.
+func (f *File) Scrub() (ScrubReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var rep ScrubReport
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return rep, fmt.Errorf("storage: scrub: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-ckpt-") {
+			if err := os.Remove(filepath.Join(f.dir, name)); err != nil {
+				return rep, fmt.Errorf("storage: scrub temp file: %w", err)
+			}
+			rep.TempFiles++
+			continue
+		}
+		proc, index, instance, ok := parseName(name)
+		if !ok {
+			continue
+		}
+		_, lerr := f.load(filepath.Join(f.dir, name))
+		if lerr == nil {
+			continue
+		}
+		if !errors.Is(lerr, ErrCorrupt) {
+			return rep, fmt.Errorf("storage: scrub read %s: %w", name, lerr)
+		}
+		qdir := filepath.Join(f.dir, quarantineDir)
+		if err := os.MkdirAll(qdir, 0o755); err != nil {
+			return rep, fmt.Errorf("storage: scrub quarantine dir: %w", err)
+		}
+		if err := os.Rename(filepath.Join(f.dir, name), filepath.Join(qdir, name)); err != nil {
+			return rep, fmt.Errorf("storage: scrub quarantine %s: %w", name, err)
+		}
+		rep.Quarantined = append(rep.Quarantined, SnapshotRef{
+			Proc: proc, CFGIndex: index, Instance: instance, Reason: lerr.Error(),
+		})
+	}
+	if len(rep.Quarantined) > 0 || rep.TempFiles > 0 {
+		if err := syncDir(f.dir); err != nil {
+			return rep, fmt.Errorf("storage: scrub sync dir: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+var _ Scrubber = (*File)(nil)
 
 // Get implements Store.
 func (f *File) Get(proc, cfgIndex, instance int) (Snapshot, error) {

@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func snap(proc, index, instance int, vars map[string]int) Snapshot {
+	return Snapshot{
+		Proc: proc, CFGIndex: index, Instance: instance,
+		Clock: vclock.VC{uint64(instance + 1), uint64(instance + 1)},
+		Vars:  vars, PC: "0",
+	}
+}
+
+func TestFileCorruptionSurfacesTypedError(t *testing.T) {
+	dir := t.TempDir()
+	f, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Save(snap(0, 1, 0, map[string]int{"x": 7})); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "p0_i1_k0.ckpt")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the body: the CRC must catch it.
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(0, 1, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on bit-flipped file = %v, want ErrCorrupt", err)
+	}
+	if _, err := f.Latest(0, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Latest on bit-flipped file = %v, want ErrCorrupt", err)
+	}
+	// Truncation (a torn write on a store without atomic rename).
+	if err := os.WriteFile(path, raw[:2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(0, 1, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on truncated file = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileScrubQuarantinesCorruptAndCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	f, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if err := f.Save(snap(0, 1, k, map[string]int{"x": k})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage the newest instance and plant an abandoned temp file.
+	path := filepath.Join(dir, "p0_i1_k2.ckpt")
+	if err := os.WriteFile(path, []byte("xx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-ckpt-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := f.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.TempFiles != 1 {
+		t.Fatalf("scrub report = %+v, want 1 quarantined + 1 temp file", rep)
+	}
+	q := rep.Quarantined[0]
+	if q.Proc != 0 || q.CFGIndex != 1 || q.Instance != 2 {
+		t.Fatalf("quarantined %+v, want p0 i1 k2", q)
+	}
+	// The damaged file moved aside, the namespace healed: Latest falls to
+	// the older instance and the key can be saved again.
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "p0_i1_k2.ckpt")); err != nil {
+		t.Fatalf("quarantined file not preserved: %v", err)
+	}
+	latest, err := f.Latest(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Instance != 1 {
+		t.Fatalf("latest after scrub = instance %d, want 1", latest.Instance)
+	}
+	if err := f.Save(snap(0, 1, 2, map[string]int{"x": 99})); err != nil {
+		t.Fatalf("re-save of quarantined key: %v", err)
+	}
+	// A clean store scrubs to an empty report.
+	rep, err = f.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 0 || rep.TempFiles != 0 {
+		t.Fatalf("second scrub = %+v, want empty", rep)
+	}
+}
+
+func TestIncrementalCorruptBaseSurfacesErrCorrupt(t *testing.T) {
+	inc := NewIncremental(4)
+	// "c" never changes after the base record, so the deltas do not carry
+	// it — rot on it in the base poisons every dependent reconstruction.
+	for k := 0; k < 3; k++ {
+		if err := inc.Save(snap(0, 1, k, map[string]int{"x": k, "c": 42})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Tamper(0, 1, 0, func(vars map[string]int) { vars["c"] = 999 }); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if _, err := inc.Get(0, 1, k); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Get instance %d = %v, want ErrCorrupt", k, err)
+		}
+	}
+	if _, err := inc.Latest(0, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Latest = %v, want ErrCorrupt", err)
+	}
+	if _, err := inc.List(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("List = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestIncrementalRotMaskedByLaterDeltaIsLocal(t *testing.T) {
+	// Rot a delta's own contribution: the damaged record reconstructs
+	// wrong (ErrCorrupt), but a later delta overwrites the rotted variable
+	// so dependents reconstruct the CORRECT state and stay readable —
+	// verification flags exactly the records whose state is wrong.
+	inc := NewIncremental(8)
+	for k := 0; k < 3; k++ {
+		if err := inc.Save(snap(0, 1, k, map[string]int{"x": k})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Tamper(0, 1, 1, func(vars map[string]int) { vars["x"] = 999 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Get(0, 1, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("rotted record = %v, want ErrCorrupt", err)
+	}
+	if s, err := inc.Get(0, 1, 0); err != nil || s.Vars["x"] != 0 {
+		t.Fatalf("record below rot = %v, %v; want clean x=0", s.Vars, err)
+	}
+	if s, err := inc.Get(0, 1, 2); err != nil || s.Vars["x"] != 2 {
+		t.Fatalf("record above rot = %v, %v; want clean x=2 (delta overwrote the rot)", s.Vars, err)
+	}
+}
+
+func TestIncrementalSaveSelfHealsAfterCorruptPrev(t *testing.T) {
+	inc := NewIncremental(8)
+	for k := 0; k < 2; k++ {
+		if err := inc.Save(snap(0, 1, k, map[string]int{"x": k})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Tamper(0, 1, 1, func(vars map[string]int) { vars["x"] = 999 }); err != nil {
+		t.Fatal(err)
+	}
+	// The next save cannot delta against a corrupt predecessor; it must
+	// store a full record and stay readable.
+	if err := inc.Save(snap(0, 1, 2, map[string]int{"x": 2})); err != nil {
+		t.Fatal(err)
+	}
+	s, err := inc.Get(0, 1, 2)
+	if err != nil {
+		t.Fatalf("snapshot saved after corruption unreadable: %v", err)
+	}
+	if s.Vars["x"] != 2 {
+		t.Fatalf("x = %d, want 2", s.Vars["x"])
+	}
+}
+
+func TestIncrementalScrubTruncatesDamagedChain(t *testing.T) {
+	inc := NewIncremental(8)
+	for k := 0; k < 4; k++ {
+		if err := inc.Save(snap(0, 1, k, map[string]int{"x": k, "c": 42})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Save(snap(1, 1, 0, map[string]int{"x": 5})); err != nil {
+		t.Fatal(err)
+	}
+	// Injecting a stray variable into a delta poisons that record and
+	// every later reconstruction (no subsequent delta overwrites "c").
+	if err := inc.Tamper(0, 1, 1, func(vars map[string]int) { vars["c"] = 999 }); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := inc.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instances 1..3 reconstruct through the rotted delta: all quarantined
+	// (the chain is truncated at the first damaged record).
+	if len(rep.Quarantined) != 3 {
+		t.Fatalf("quarantined %d, want 3 (%+v)", len(rep.Quarantined), rep)
+	}
+	// Below the damage and other processes survive.
+	if s, err := inc.Get(0, 1, 0); err != nil || s.Vars["x"] != 0 {
+		t.Fatalf("instance 0 after scrub = %v, %v", s.Vars, err)
+	}
+	if _, err := inc.Get(1, 1, 0); err != nil {
+		t.Fatalf("proc 1 after scrub: %v", err)
+	}
+	if _, err := inc.Get(0, 1, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("quarantined instance = %v, want ErrNotFound", err)
+	}
+	// Replay can regenerate the quarantined instances.
+	if err := inc.Save(snap(0, 1, 1, map[string]int{"x": 1, "c": 42})); err != nil {
+		t.Fatalf("re-save after scrub: %v", err)
+	}
+	if s, err := inc.Get(0, 1, 1); err != nil || s.Vars["x"] != 1 {
+		t.Fatalf("regenerated instance = %v, %v", s.Vars, err)
+	}
+}

@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 )
@@ -13,6 +15,13 @@ import (
 // variable maps). Every FullEvery-th snapshot per process is stored in
 // full to bound reconstruction chains. Readers always receive fully
 // reconstructed snapshots; the delta encoding is invisible outside.
+//
+// Every record carries a CRC of the fully reconstructed snapshot, taken at
+// save time. Reconstruction re-verifies it, so damage anywhere in a delta
+// chain — in particular a corrupt base record — surfaces as ErrCorrupt on
+// every read that depends on it, never as a silently bogus reconstruction.
+// Scrub quarantines damaged chains by truncation (an interior record of a
+// delta chain cannot be excised without breaking its dependents).
 type Incremental struct {
 	mu sync.Mutex
 	// FullEvery is the full-snapshot period (default 8 when 0).
@@ -34,9 +43,14 @@ type record struct {
 	// (MPL variables never disappear, but the store does not rely on
 	// that).
 	removedVars []string
+	// crc is the checksum of the fully reconstructed snapshot this record
+	// represents, computed at save time and re-verified on every
+	// reconstruction.
+	crc uint32
 }
 
 var _ Store = (*Incremental)(nil)
+var _ Scrubber = (*Incremental)(nil)
 
 // NewIncremental creates an incremental store. fullEvery <= 0 selects the
 // default period of 8.
@@ -51,6 +65,24 @@ func NewIncremental(fullEvery int) *Incremental {
 	}
 }
 
+// snapshotCRC fingerprints a fully reconstructed snapshot. JSON encoding
+// sorts map keys, so the fingerprint is deterministic. A nil variable map
+// is normalized to empty: delta reconstruction always rebuilds a concrete
+// map, and the fingerprint must not depend on that representation detail.
+func snapshotCRC(s Snapshot) uint32 {
+	if s.Vars == nil {
+		s.Vars = map[string]int{}
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Snapshot contains only maps, slices, and scalars; Marshal cannot
+		// fail on it. Guard anyway so a future field cannot silently
+		// disable verification.
+		panic(fmt.Sprintf("storage: snapshot not encodable: %v", err))
+	}
+	return crc32.ChecksumIEEE(b)
+}
+
 // Save implements Store.
 func (inc *Incremental) Save(s Snapshot) error {
 	inc.mu.Lock()
@@ -61,12 +93,23 @@ func (inc *Incremental) Save(s Snapshot) error {
 	}
 	chain := inc.recs[s.Proc]
 	full := len(chain)%inc.fullEvery == 0
-	rec := record{snap: s.clone()}
-	if full || len(chain) == 0 {
+	rec := record{snap: s.clone(), crc: snapshotCRC(s)}
+	storeFull := full || len(chain) == 0
+	var prev Snapshot
+	if !storeFull {
+		// Delta against the previous record's reconstructed state. If the
+		// previous record turns out to be corrupt, do not chain onto it:
+		// store a full record instead so new checkpoints stay readable
+		// even on a damaged chain (self-healing writes).
+		var err error
+		prev, err = inc.reconstructLocked(s.Proc, len(chain)-1)
+		if err != nil {
+			storeFull = true
+		}
+	}
+	if storeFull {
 		inc.fullBytes += approxSize(rec.snap.Vars)
 	} else {
-		// Delta against the previous record's reconstructed state.
-		prev := inc.reconstructLocked(s.Proc, len(chain)-1)
 		deltaVars := make(map[string]int)
 		for name, v := range s.Vars {
 			if pv, ok := prev.Vars[name]; !ok || pv != v {
@@ -88,8 +131,11 @@ func (inc *Incremental) Save(s Snapshot) error {
 }
 
 // reconstructLocked rebuilds the full snapshot at position pos of proc's
-// chain by replaying deltas from the nearest full record.
-func (inc *Incremental) reconstructLocked(proc, pos int) Snapshot {
+// chain by replaying deltas from the nearest full record, then verifies
+// the result against the checksum taken at save time. A mismatch anywhere
+// in the chain (a flipped bit in a base record corrupts every dependent
+// reconstruction) returns ErrCorrupt.
+func (inc *Incremental) reconstructLocked(proc, pos int) (Snapshot, error) {
 	chain := inc.recs[proc]
 	start := pos
 	for start > 0 && chain[start].delta {
@@ -113,7 +159,11 @@ func (inc *Incremental) reconstructLocked(proc, pos int) Snapshot {
 		}
 		out.Vars = merged
 	}
-	return out
+	if got := snapshotCRC(out); got != chain[pos].crc {
+		return Snapshot{}, fmt.Errorf("%w: proc=%d index=%d instance=%d reconstruction crc %08x != %08x (damaged delta chain)",
+			ErrCorrupt, proc, chain[pos].snap.CFGIndex, chain[pos].snap.Instance, got, chain[pos].crc)
+	}
+	return out, nil
 }
 
 // Get implements Store.
@@ -124,7 +174,7 @@ func (inc *Incremental) Get(proc, cfgIndex, instance int) (Snapshot, error) {
 	if !ok {
 		return Snapshot{}, fmt.Errorf("%w: proc=%d index=%d instance=%d", ErrNotFound, proc, cfgIndex, instance)
 	}
-	return inc.reconstructLocked(proc, pos), nil
+	return inc.reconstructLocked(proc, pos)
 }
 
 // Latest implements Store.
@@ -142,7 +192,7 @@ func (inc *Incremental) Latest(proc, cfgIndex int) (Snapshot, error) {
 	if best < 0 {
 		return Snapshot{}, fmt.Errorf("%w: proc=%d index=%d", ErrNotFound, proc, cfgIndex)
 	}
-	return inc.reconstructLocked(proc, best), nil
+	return inc.reconstructLocked(proc, best)
 }
 
 // List implements Store.
@@ -152,7 +202,11 @@ func (inc *Incremental) List(proc int) ([]Snapshot, error) {
 	chain := inc.recs[proc]
 	out := make([]Snapshot, 0, len(chain))
 	for pos := range chain {
-		out = append(out, inc.reconstructLocked(proc, pos))
+		s, err := inc.reconstructLocked(proc, pos)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].CFGIndex != out[j].CFGIndex {
@@ -202,6 +256,61 @@ func (inc *Incremental) Delete(proc, cfgIndex, instance int) error {
 	inc.recs[proc] = chain[:pos]
 	delete(inc.byKey, k)
 	return nil
+}
+
+// Tamper mutates the raw stored variable map of one record WITHOUT
+// updating its integrity checksum — a fault-injection hook for chaos and
+// corruption tests that simulates bit rot inside a persisted record. For a
+// delta record the map holds only the delta; for a full record (a delta
+// chain's base) it holds the whole state, so tampering with it poisons
+// every reconstruction chained on top.
+func (inc *Incremental) Tamper(proc, cfgIndex, instance int, mutate func(vars map[string]int)) error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	pos, ok := inc.byKey[key{proc, cfgIndex, instance}]
+	if !ok {
+		return fmt.Errorf("%w: proc=%d index=%d instance=%d", ErrNotFound, proc, cfgIndex, instance)
+	}
+	mutate(inc.recs[proc][pos].snap.Vars)
+	return nil
+}
+
+// Scrub implements Scrubber. A damaged record cannot be excised from the
+// middle of a delta chain (its dependents would reconstruct garbage), so
+// quarantine truncates each process's chain at the first record whose
+// reconstruction fails verification; healthy records above it are counted
+// as collateral.
+func (inc *Incremental) Scrub() (ScrubReport, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	var rep ScrubReport
+	for proc, chain := range inc.recs {
+		cut := -1
+		for pos := range chain {
+			if _, err := inc.reconstructLocked(proc, pos); err != nil {
+				cut = pos
+				break
+			}
+		}
+		if cut < 0 {
+			continue
+		}
+		for pos := cut; pos < len(chain); pos++ {
+			s := chain[pos].snap
+			k := key{proc, s.CFGIndex, s.Instance}
+			delete(inc.byKey, k)
+			if _, err := inc.reconstructLocked(proc, pos); err != nil {
+				rep.Quarantined = append(rep.Quarantined, SnapshotRef{
+					Proc: proc, CFGIndex: s.CFGIndex, Instance: s.Instance,
+					Reason: err.Error(),
+				})
+			} else {
+				rep.Collateral++
+			}
+		}
+		inc.recs[proc] = chain[:cut]
+	}
+	return rep, nil
 }
 
 // SizeStats reports the approximate stored variable-map bytes, full vs

@@ -93,6 +93,51 @@ var ErrNotFound = errors.New("storage: snapshot not found")
 // ErrDuplicate reports an attempt to overwrite an existing checkpoint.
 var ErrDuplicate = errors.New("storage: snapshot already exists")
 
+// ErrCorrupt reports a snapshot whose persisted bytes fail integrity
+// verification (CRC mismatch, truncation, undecodable body, or a broken
+// delta chain). A corrupt snapshot must never be returned as state: callers
+// match with errors.Is and fall back to an older recovery line.
+var ErrCorrupt = errors.New("storage: snapshot corrupt")
+
+// ErrTransient marks a storage fault that may succeed on retry (an
+// injected chaos fault, a flaky device, a momentary IO error). The runtime
+// retries operations failing with ErrTransient under capped exponential
+// backoff; any other error is treated as permanent.
+var ErrTransient = errors.New("storage: transient fault")
+
+// SnapshotRef names one snapshot without carrying its state — used by
+// scrub reports to identify what was quarantined.
+type SnapshotRef struct {
+	Proc     int
+	CFGIndex int
+	Instance int
+	// Reason is a human-readable cause (crc mismatch, torn write, broken
+	// delta chain, ...).
+	Reason string
+}
+
+// ScrubReport summarizes one Scrub pass.
+type ScrubReport struct {
+	// Quarantined lists the damaged snapshots removed from the store's
+	// namespace. After a scrub the same (proc, index, instance) can be
+	// saved again: replay regenerates quarantined checkpoints.
+	Quarantined []SnapshotRef
+	// Collateral counts healthy snapshots that had to be removed along
+	// with damaged ones (delta-encoded chains cannot excise an interior
+	// record, so quarantine truncates the chain's tail).
+	Collateral int
+	// TempFiles counts abandoned temp files cleaned up (file stores).
+	TempFiles int
+}
+
+// Scrubber is implemented by stores that can verify and quarantine their
+// contents. The runtime scrubs before rolling back so that corrupt
+// snapshots discovered during recovery-line selection do not collide with
+// the checkpoints replay will regenerate.
+type Scrubber interface {
+	Scrub() (ScrubReport, error)
+}
+
 type key struct{ proc, index, instance int }
 
 // Memory is an in-memory Store safe for concurrent use. The zero value is

@@ -22,4 +22,7 @@ go build ./...
 echo '>> go test -race ./...'
 go test -race ./...
 
+echo '>> chaos soak (go test -race -run TestChaosSoak -count=1 .)'
+go test -race -run 'TestChaosSoak' -count=1 .
+
 echo 'OK'
