@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt bench chaos
+.PHONY: all build vet test race check fmt bench chaos netchaos
 
 all: check
 
@@ -28,5 +28,12 @@ bench:
 
 # chaos runs the fault-injection soak: fixed seeds, all store kinds,
 # storage faults + generated crash schedules, under the race detector.
+# SOAK_SEEDS=<n> overrides the seed count.
 chaos:
 	$(GO) test -race -run 'TestChaosSoak' -count=1 -v .
+
+# netchaos runs the network-chaos soak: multi-seed × {drop, dup, reorder,
+# partition-heal} over the hardened transport, under the race detector.
+# SOAK_SEEDS=<n> overrides the per-profile seed count.
+netchaos:
+	$(GO) test -race -run 'TestNetChaosSoak' -count=1 -v .

@@ -8,7 +8,8 @@ package repro_test
 // fault machinery (faults injected, retries taken, degraded recoveries
 // observed, with matching observability events).
 //
-// Skipped under -short; `make chaos` runs it with -race.
+// Skipped under -short; `make chaos` runs it with -race. SOAK_SEEDS
+// overrides the seed count (CI uses a smaller matrix).
 
 import (
 	"path/filepath"
@@ -40,10 +41,13 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	// Fleet-wide aggregates: individual seeds may draw empty schedules or
-	// dodge every fault, but across 24 seeds the machinery must fire.
+	// dodge every fault, but across the default 24 seeds the machinery
+	// must fire.
+	seeds := int64(soakSeeds(t, 24))
+	checkFleet := fleetAssertions(t, int(seeds), 24)
 	var totalFaults, totalRetries, totalDegraded, totalRestarts int64
 	kinds := map[obs.Kind]int{}
-	for seed := int64(0); seed < 24; seed++ {
+	for seed := int64(0); seed < seeds; seed++ {
 		var inner storage.Store
 		switch seed % 3 {
 		case 0:
@@ -100,6 +104,9 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}
 
+	if !checkFleet {
+		return
+	}
 	if totalFaults == 0 {
 		t.Error("fleet injected no storage faults — the chaos layer never fired")
 	}

@@ -7,6 +7,8 @@
 //	chkptsim -n 4 [-protocol appl|sas|cl|cic|uncoord] [-fail proc:events]
 //	         [-transform] [-verify]
 //	         [-chaos-seed 1] [-chaos-crash-rate 1.2] [-storage-fault-rate 0.1]
+//	         [-net-chaos-seed 1] [-net-drop-rate 0.1] [-net-dup-rate 0.1]
+//	         [-net-reorder-rate 0.1] [-net-partition '0>1@100ms+300ms']
 //	         [-trace-out run.json] [-events-out run.jsonl]
 //	         [-metrics-out metrics.jsonl]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] program.mpl
@@ -22,6 +24,14 @@
 // with the given rate, and -storage-fault-rate wraps the chosen store with
 // transient errors, torn writes, bit flips, and latency at the given rate.
 // The same -chaos-seed reproduces the same faults.
+//
+// The network chaos flags run the program over lossy links: any of
+// -net-drop-rate, -net-dup-rate, -net-reorder-rate, or -net-partition
+// enables the hardened transport (per-channel sequencing, ack/retransmit
+// with an adaptive RTO, heartbeat failure detection) and injects the
+// requested faults, reproducibly from -net-chaos-seed. Partition windows
+// silence a direction for a wall-clock window; the heartbeat detector
+// converts the silence into an ordinary crash→recovery.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -93,6 +104,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for chaos fault injection (same seed, same faults)")
 		crashRate  = fs.Float64("chaos-crash-rate", 0, "expected crashes per incarnation (Poisson); generates a seeded multi-process crash schedule")
 		faultRate  = fs.Float64("storage-fault-rate", 0, "storage fault rate in [0,1]: transient errors, torn writes, bit flips, latency")
+		netSeed    = fs.Int64("net-chaos-seed", 1, "seed for network fault injection (same seed, same fault pattern)")
+		dropRate   = fs.Float64("net-drop-rate", 0, "per-frame drop probability in [0,1]; enables the hardened ack/retransmit transport")
+		dupRate    = fs.Float64("net-dup-rate", 0, "per-frame duplication probability in [0,1]; enables the hardened transport")
+		reorderRt  = fs.Float64("net-reorder-rate", 0, "per-frame reorder probability in [0,1]; enables the hardened transport")
+		partitions = fs.String("net-partition", "", "directed partition windows as FROM>TO@START+DUR, comma-separated ('0>1@100ms+300ms'; '*' wildcards a side); enables the hardened transport")
 	)
 	fs.Var(&failures, "fail", "inject a failure as proc:events (repeatable; k-th flag applies to incarnation k)")
 	if err := fs.Parse(args); err != nil {
@@ -245,9 +261,26 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			Nproc: *nproc, Lambda: *crashRate, MaxIncarnations: 3,
 		})
 	}
-	if chaosStore != nil || *crashRate > 0 {
-		// Storage faults crash processes beyond the scheduled failures;
-		// leave recovery generous headroom.
+	var netChaos *chaos.Network
+	if *dropRate > 0 || *dupRate > 0 || *reorderRt > 0 || *partitions != "" {
+		parts, err := chaos.ParsePartitions(*partitions)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptsim:", err)
+			return 2
+		}
+		netChaos = chaos.NewNetwork(*netSeed, chaos.NetRates{
+			Drop:     *dropRate,
+			Dup:      *dupRate,
+			Reorder:  *reorderRt,
+			Delay:    *reorderRt / 2,
+			MaxDelay: 2 * time.Millisecond,
+		}, parts, cfg.Observer)
+		cfg.Net = &sim.NetConfig{Chaos: netChaos}
+	}
+	if chaosStore != nil || netChaos != nil || *crashRate > 0 {
+		// Storage faults crash processes beyond the scheduled failures, and
+		// partitions can trigger repeated heartbeat suspicions; leave
+		// recovery generous headroom.
 		cfg.MaxRestarts = len(cfg.Failures) + len(cfg.Crashes) + 25
 	}
 	switch *protoName {
@@ -307,6 +340,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		st := chaosStore.Stats()
 		fmt.Fprintf(stdout, "chaos: %d fault(s): %d write, %d read, %d torn (%d repaired), %d bit-flip\n",
 			st.Total(), st.WriteErrors, st.ReadErrors, st.TornWrites, st.Repairs, st.BitFlips)
+	}
+	if netChaos != nil {
+		st := netChaos.Stats()
+		fmt.Fprintf(stdout, "net chaos: %d fault(s): %d drop (%d partition), %d dup, %d reorder, %d delay; %d heal(s)\n",
+			st.Total(), st.Drops, st.PartitionDrops, st.Dups, st.Reorders, st.Delays, st.Heals)
 	}
 	for p, vars := range res.FinalVars {
 		fmt.Fprintf(stdout, "  proc %d: %v\n", p, sortedVars(vars))

@@ -327,6 +327,53 @@ func TestChaosFlags(t *testing.T) {
 	}
 }
 
+// TestNetChaosFlags: a run over lossy links (drops, dups, reorders, plus a
+// healing partition window) must converge to the clean run's final state
+// and report network fault stats.
+func TestNetChaosFlags(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	var clean, errb strings.Builder
+	if code := run([]string{"-n", "4", "-transform", path}, &clean, &errb); code != 0 {
+		t.Fatalf("clean run exit = %d: %s", code, errb.String())
+	}
+	var out strings.Builder
+	errb.Reset()
+	code := run([]string{"-n", "4", "-transform",
+		"-net-chaos-seed", "7", "-net-drop-rate", "0.1", "-net-dup-rate", "0.2",
+		"-net-reorder-rate", "0.2", "-net-partition", "0>1@5ms+100ms",
+		path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("net chaos run exit = %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "net chaos:") {
+		t.Errorf("no net chaos stats reported: %q", out.String())
+	}
+	finals := func(s string) []string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "proc ") {
+				out = append(out, strings.TrimSpace(line))
+			}
+		}
+		return out
+	}
+	c, f := finals(clean.String()), finals(out.String())
+	if len(c) == 0 || strings.Join(c, ";") != strings.Join(f, ";") {
+		t.Errorf("net chaos run diverged:\nclean: %v\nchaos: %v", c, f)
+	}
+}
+
+func TestNetPartitionSpecRejected(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-n", "2", "-net-partition", "garbage", writeTemp(t, fig2Src)}, &out, &errb)
+	if code != 2 {
+		t.Errorf("bad partition spec exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "partition") {
+		t.Errorf("no partition error reported: %q", errb.String())
+	}
+}
+
 func nonEmptyLines(t *testing.T, path string) []string {
 	t.Helper()
 	raw, err := os.ReadFile(path)

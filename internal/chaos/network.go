@@ -1,0 +1,293 @@
+package chaos
+
+// Network-level fault injection: a link wrapper that drops, duplicates,
+// reorders, and delays transport frames and enforces directed partition
+// windows. Like the storage wrapper, every probabilistic decision is a
+// pure hash of (seed, class, from, to, seq, attempt) — never a shared
+// sequential RNG — so goroutine interleaving cannot perturb which frames
+// fault, and one seed reproduces one fault pattern. Partition windows are
+// schedules, not draws: they open and close at configured offsets from the
+// injector's epoch (the first Verdict call), which spans incarnations, so
+// an unhealed partition keeps a peer silent across restarts until the
+// window closes in absolute time.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// NetRates sets the per-frame fault probabilities, each in [0, 1].
+type NetRates struct {
+	// Drop loses the frame entirely (the transport's retransmission
+	// machinery decides what happens next).
+	Drop float64
+	// Dup delivers the frame twice.
+	Dup float64
+	// Reorder holds the frame back long enough for successors to overtake
+	// it on the wire (a delay drawn in the upper half of MaxDelay).
+	Reorder float64
+	// Delay postpones delivery by a deterministic per-frame fraction of
+	// MaxDelay without the reordering intent.
+	Delay float64
+	// MaxDelay bounds reorder/delay hold-back times (default 2ms when any
+	// of Reorder/Delay is positive).
+	MaxDelay time.Duration
+}
+
+// DefaultNetRates spreads one knob across the fault classes: drops at the
+// full rate, duplicates and reorders at half, plus a small wire latency on
+// a quarter of frames.
+func DefaultNetRates(rate float64) NetRates {
+	return NetRates{
+		Drop:     rate,
+		Dup:      rate / 2,
+		Reorder:  rate / 2,
+		Delay:    rate / 4,
+		MaxDelay: 2 * time.Millisecond,
+	}
+}
+
+// Partition is one directed partition window: frames from From to To are
+// dropped while the window [Start, Start+Dur) is open, measured from the
+// injector's epoch. From/To of -1 are wildcards matching every process.
+type Partition struct {
+	From, To int
+	Start    time.Duration
+	Dur      time.Duration
+}
+
+func (p Partition) matches(from, to int) bool {
+	return (p.From < 0 || p.From == from) && (p.To < 0 || p.To == to)
+}
+
+// String renders the window in the -net-partition flag syntax.
+func (p Partition) String() string {
+	f, t := "*", "*"
+	if p.From >= 0 {
+		f = strconv.Itoa(p.From)
+	}
+	if p.To >= 0 {
+		t = strconv.Itoa(p.To)
+	}
+	return fmt.Sprintf("%s>%s@%v+%v", f, t, p.Start, p.Dur)
+}
+
+// ParsePartitions parses a comma-separated list of partition specs of the
+// form "FROM>TO@START+DUR" ("0>1@100ms+300ms"; "*" wildcards a side).
+func ParsePartitions(spec string) ([]Partition, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Partition
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		pair, window, ok := strings.Cut(field, "@")
+		if !ok {
+			return nil, fmt.Errorf("chaos: partition %q: missing '@'", field)
+		}
+		fromS, toS, ok := strings.Cut(pair, ">")
+		if !ok {
+			return nil, fmt.Errorf("chaos: partition %q: missing '>' in %q", field, pair)
+		}
+		startS, durS, ok := strings.Cut(window, "+")
+		if !ok {
+			return nil, fmt.Errorf("chaos: partition %q: missing '+' in %q", field, window)
+		}
+		side := func(s string) (int, error) {
+			s = strings.TrimSpace(s)
+			if s == "*" {
+				return -1, nil
+			}
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("chaos: partition %q: bad process %q", field, s)
+			}
+			return v, nil
+		}
+		var p Partition
+		var err error
+		if p.From, err = side(fromS); err != nil {
+			return nil, err
+		}
+		if p.To, err = side(toS); err != nil {
+			return nil, err
+		}
+		if p.Start, err = time.ParseDuration(strings.TrimSpace(startS)); err != nil {
+			return nil, fmt.Errorf("chaos: partition %q: bad start: %v", field, err)
+		}
+		if p.Dur, err = time.ParseDuration(strings.TrimSpace(durS)); err != nil {
+			return nil, fmt.Errorf("chaos: partition %q: bad duration: %v", field, err)
+		}
+		if p.Start < 0 || p.Dur <= 0 {
+			return nil, fmt.Errorf("chaos: partition %q: window must have start >= 0 and positive duration", field)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// NetStats counts the faults a Network injected.
+type NetStats struct {
+	Drops          int64
+	Dups           int64
+	Reorders       int64
+	Delays         int64
+	PartitionDrops int64
+	// Heals counts partition windows observed to close (first frame
+	// attempted on a matching link after the window's end).
+	Heals int64
+}
+
+// Total is the number of injected faults (heals are recoveries, not
+// faults, and are not counted).
+func (s NetStats) Total() int64 {
+	return s.Drops + s.Dups + s.Reorders + s.Delays + s.PartitionDrops
+}
+
+// Network injects seeded link-level faults; it implements sim.LinkChaos
+// and plugs into sim.NetConfig.Chaos.
+type Network struct {
+	seed  int64
+	rates NetRates
+	parts []Partition
+	obsv  obs.Observer // nil: no fault events
+
+	mu     sync.Mutex
+	epoch  time.Time // zero until the first Verdict
+	healed []bool    // per partition window
+	stats  NetStats
+}
+
+var _ sim.LinkChaos = (*Network)(nil)
+
+// NewNetwork creates a link-level fault injector. The observer may be nil;
+// when set it receives one KindNetFault event per injected fault and one
+// KindHeal event per closed partition window.
+func NewNetwork(seed int64, rates NetRates, parts []Partition, obsv obs.Observer) *Network {
+	if rates.MaxDelay <= 0 && (rates.Reorder > 0 || rates.Delay > 0) {
+		rates.MaxDelay = 2 * time.Millisecond
+	}
+	return &Network{
+		seed:   seed,
+		rates:  rates,
+		parts:  append([]Partition(nil), parts...),
+		obsv:   obsv,
+		healed: make([]bool, len(parts)),
+	}
+}
+
+// Frame fault classes, a hash domain disjoint from the storage classes by
+// construction (separate salt below).
+const (
+	nclassDrop = iota + 1
+	nclassDup
+	nclassReorder
+	nclassDelay
+)
+
+// nmix is the splitmix64-style finalizer over a frame decision's inputs.
+func nmix(seed int64, fclass, class, from, to, seq int, attempt int) uint64 {
+	x := uint64(seed) ^ 0x6e65746368616f73 // "netchaos"
+	x ^= uint64(fclass) * 0x9e3779b97f4a7c15
+	x ^= uint64(class) * 0xd6e8feb86659fd93
+	x ^= uint64(uint32(from))<<42 ^ uint64(uint32(to))<<21 ^ uint64(uint32(seq))
+	x ^= uint64(attempt) * 0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fault publishes one injected network fault.
+func (c *Network) fault(tag string, class sim.LinkClass, from, to, seq, attempt int) {
+	if c.obsv != nil {
+		c.obsv.OnEvent(obs.Event{
+			Kind: obs.KindNetFault, Proc: from, Inc: -1, Tag: tag,
+			Label: fmt.Sprintf("%s %d->%d seq=%d attempt=%d", class, from, to, seq, attempt),
+		})
+	}
+}
+
+// Verdict implements sim.LinkChaos: the fate of one transmission attempt.
+func (c *Network) Verdict(class sim.LinkClass, from, to, seq, attempt int) sim.Verdict {
+	var v sim.Verdict
+	now := time.Now()
+	c.mu.Lock()
+	if c.epoch.IsZero() {
+		c.epoch = now
+	}
+	elapsed := now.Sub(c.epoch)
+	for i, p := range c.parts {
+		if !p.matches(from, to) {
+			continue
+		}
+		switch {
+		case elapsed < p.Start:
+		case elapsed < p.Start+p.Dur:
+			v.Drop = true
+			v.Partitioned = true
+		case !c.healed[i]:
+			c.healed[i] = true
+			v.Healed = true
+			c.stats.Heals++
+		}
+	}
+	if v.Partitioned {
+		c.stats.PartitionDrops++
+		c.stats.Drops++
+		c.mu.Unlock()
+		c.fault("partition", class, from, to, seq, attempt)
+		return v
+	}
+	if v.Healed && c.obsv != nil {
+		c.obsv.OnEvent(obs.Event{
+			Kind: obs.KindHeal, Proc: from, Inc: -1,
+			Label: fmt.Sprintf("partition healed at %v: first frame %s %d->%d", elapsed.Round(time.Millisecond), class, from, to),
+		})
+	}
+	fc := int(class)
+	if hit(nmix(c.seed, nclassDrop, fc, from, to, seq, attempt), c.rates.Drop) {
+		v.Drop = true
+		c.stats.Drops++
+		c.mu.Unlock()
+		c.fault("drop", class, from, to, seq, attempt)
+		return v
+	}
+	if hit(nmix(c.seed, nclassDup, fc, from, to, seq, attempt), c.rates.Dup) {
+		v.Duplicate = true
+		c.stats.Dups++
+		defer c.fault("dup", class, from, to, seq, attempt)
+	}
+	if h := nmix(c.seed, nclassReorder, fc, from, to, seq, attempt); hit(h, c.rates.Reorder) {
+		// Upper half of MaxDelay: long enough that in-flight successors
+		// sent back-to-back overtake this frame.
+		v.Reorder = true
+		v.Delay = c.rates.MaxDelay/2 + time.Duration(float64(c.rates.MaxDelay/2)*float64(h>>11)/(1<<53))
+		c.stats.Reorders++
+		c.mu.Unlock()
+		c.fault("reorder", class, from, to, seq, attempt)
+		return v
+	}
+	if h := nmix(c.seed, nclassDelay, fc, from, to, seq, attempt); hit(h, c.rates.Delay) {
+		v.Delay = time.Duration(float64(c.rates.MaxDelay) * float64(h>>11) / (1 << 53))
+		c.stats.Delays++
+		c.mu.Unlock()
+		c.fault("delay", class, from, to, seq, attempt)
+		return v
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// Stats returns the fault counts so far.
+func (c *Network) Stats() NetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

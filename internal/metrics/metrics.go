@@ -73,6 +73,22 @@ func (c *Counters) Inc(name string, n int) {
 	c.custom[name] += int64(n)
 }
 
+// Max raises a named custom counter to v if v exceeds its current value —
+// a high-watermark gauge (queue depths, backlog peaks) exported through the
+// same custom-counter channel as Inc. Note Merge adds custom counters, so
+// merging snapshots turns a watermark into a sum; aggregate watermarks
+// across runs by taking the max of the per-run snapshots instead.
+func (c *Counters) Max(name string, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.custom == nil {
+		c.custom = make(map[string]int64)
+	}
+	if v > c.custom[name] {
+		c.custom[name] = v
+	}
+}
+
 // ObserveHist records one observation in the named distribution, creating
 // it with DefaultBuckets on first use. Distributions turn the totals above
 // into per-event shapes: how long each barrier stall was, not just their

@@ -52,6 +52,24 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 }
 
+func TestMaxIsHighWatermark(t *testing.T) {
+	var c Counters
+	c.Max("depth", 3)
+	c.Max("depth", 7)
+	c.Max("depth", 5) // lower values never pull the watermark down
+	if got := c.Snapshot().Custom["depth"]; got != 7 {
+		t.Fatalf("Max watermark = %d, want 7", got)
+	}
+	c.Max("other", 0)
+	if got := c.Snapshot().Custom["other"]; got != 0 {
+		t.Fatalf("Max(0) = %d, want 0", got)
+	}
+	c.Reset()
+	if got := c.Snapshot().Custom["depth"]; got != 0 {
+		t.Fatalf("watermark survived Reset: %d", got)
+	}
+}
+
 func TestStringContainsCustomSorted(t *testing.T) {
 	var c Counters
 	c.Inc("zeta", 1)

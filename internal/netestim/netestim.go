@@ -32,6 +32,7 @@ type Estimator struct {
 	srtt    time.Duration
 	rttvar  time.Duration
 	samples int
+	floor   time.Duration
 }
 
 // NewEstimator returns an estimator with custom gains. Gains outside (0,1]
@@ -101,15 +102,49 @@ func (e *Estimator) OneWayDelay() (time.Duration, error) {
 	return rtt / 2, nil
 }
 
-// RTO returns the retransmission-timeout style conservative bound
-// srtt + 4·rttvar, useful as a worst-case delay estimate.
+// RTO returns the retransmission timeout in RFC 6298 form:
+// max(floor, srtt + 4·rttvar). Before any sample arrives it returns the
+// configured floor (the conservative initial timeout the RFC prescribes);
+// with no floor set it returns ErrNoSamples as before.
 func (e *Estimator) RTO() (time.Duration, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.samples == 0 {
+		if e.floor > 0 {
+			return e.floor, nil
+		}
 		return 0, ErrNoSamples
 	}
-	return e.srtt + 4*e.rttvar, nil
+	rto := e.srtt + 4*e.rttvar
+	if rto < e.floor {
+		rto = e.floor
+	}
+	return rto, nil
+}
+
+// SetRTOFloor sets the lower bound RTO never drops below, guarding against
+// the variance collapsing to zero on a long-stable link (RFC 6298 §2.4 uses
+// one second; simulated links want something far smaller). A zero floor
+// restores the unbounded behaviour.
+func (e *Estimator) SetRTOFloor(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	e.floor = d
+}
+
+// Reset discards the estimate so the next sample re-initializes srtt and
+// rttvar from scratch, keeping the configured gains and RTO floor. Callers
+// reset after a connectivity epoch change (a healed partition, a recovered
+// incarnation) when old samples no longer describe the link.
+func (e *Estimator) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.srtt = 0
+	e.rttvar = 0
+	e.samples = 0
 }
 
 // Samples returns how many samples were accepted.

@@ -102,6 +102,130 @@ func TestQuickEstimateWithinSampleRange(t *testing.T) {
 	}
 }
 
+// TestRTOTable pins the RTO accessor's RFC 6298 form across floor
+// configurations, Karn's rule under retransmission, and variance collapse
+// after long stability.
+func TestRTOTable(t *testing.T) {
+	const ms = time.Millisecond
+	cases := []struct {
+		name    string
+		floor   time.Duration
+		feed    func(e *Estimator)
+		want    time.Duration
+		wantErr bool
+	}{
+		{
+			name:    "no samples, no floor: error",
+			feed:    func(*Estimator) {},
+			wantErr: true,
+		},
+		{
+			name:  "no samples with floor: floor is the initial timeout",
+			floor: 100 * ms,
+			feed:  func(*Estimator) {},
+			want:  100 * ms,
+		},
+		{
+			name: "first sample: srtt + 4*(srtt/2)",
+			feed: func(e *Estimator) { e.Observe(10 * ms) },
+			want: 30 * ms,
+		},
+		{
+			name:  "karn: ambiguous retransmitted exchanges never move the estimate",
+			floor: 1 * ms,
+			feed: func(e *Estimator) {
+				e.Observe(10 * ms)
+				for i := 0; i < 50; i++ {
+					// The wire saw 500 ms round trips on retransmitted
+					// frames; Karn's rule discards every one of them.
+					e.ObserveAmbiguous()
+				}
+			},
+			want: 30 * ms,
+		},
+		{
+			name:  "variance collapse after long stability hits the floor",
+			floor: 5 * ms,
+			feed: func(e *Estimator) {
+				for i := 0; i < 500; i++ {
+					e.Observe(1 * ms)
+				}
+			},
+			// rttvar decays toward zero, so srtt + 4*rttvar -> 1 ms, and
+			// the configured floor takes over.
+			want: 5 * ms,
+		},
+		{
+			name:  "floor below estimate is inert",
+			floor: 1 * ms,
+			feed:  func(e *Estimator) { e.Observe(10 * ms) },
+			want:  30 * ms,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e Estimator
+			e.SetRTOFloor(tc.floor)
+			tc.feed(&e)
+			rto, err := e.RTO()
+			if tc.wantErr {
+				if !errors.Is(err, ErrNoSamples) {
+					t.Fatalf("RTO err = %v, want ErrNoSamples", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rto != tc.want {
+				t.Fatalf("RTO = %v, want %v", rto, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceCollapseWithoutFloor(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 500; i++ {
+		e.Observe(8 * time.Millisecond)
+	}
+	rto, err := e.RTO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no floor the collapse is visible: RTO decays to (nearly) the
+	// smoothed RTT itself — the failure mode SetRTOFloor exists to guard.
+	if rto >= 9*time.Millisecond {
+		t.Fatalf("RTO = %v, want < 9ms after variance collapse", rto)
+	}
+	if rto < 8*time.Millisecond {
+		t.Fatalf("RTO = %v fell below srtt", rto)
+	}
+}
+
+func TestResetClearsEstimateKeepsFloor(t *testing.T) {
+	var e Estimator
+	e.SetRTOFloor(7 * time.Millisecond)
+	e.Observe(100 * time.Millisecond)
+	e.Reset()
+	if e.Samples() != 0 {
+		t.Fatalf("Samples = %d after Reset, want 0", e.Samples())
+	}
+	if _, err := e.RTT(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("RTT err = %v, want ErrNoSamples", err)
+	}
+	rto, err := e.RTO()
+	if err != nil || rto != 7*time.Millisecond {
+		t.Fatalf("RTO = %v, %v; want floor 7ms", rto, err)
+	}
+	// The next sample re-initializes, not smooths against the old state.
+	e.Observe(20 * time.Millisecond)
+	rtt, _ := e.RTT()
+	if rtt != 20*time.Millisecond {
+		t.Fatalf("RTT after reset+observe = %v, want 20ms", rtt)
+	}
+}
+
 func TestLinearModelCost(t *testing.T) {
 	m := LinearModel{Setup: time.Millisecond, PerBit: time.Microsecond}
 	if got := m.Cost(8); got != time.Millisecond+8*time.Microsecond {

@@ -21,7 +21,8 @@
 // Each line is one JSON object:
 //
 //	kind    string  event kind: send, recv, chkpt, compute, block,
-//	                rollback, restart, halt, fault, retry, scrub, degraded
+//	                rollback, restart, halt, fault, retry, scrub, degraded,
+//	                netfault, suspect, backlog, heal
 //	proc    int     process rank; -1 for run-level events
 //	inc     int     incarnation (0 until the first recovery)
 //	seq     int     position in the (inc, proc) local history
@@ -61,9 +62,16 @@ const (
 	// and every degraded recovery-line fallback so fault handling is as
 	// observable as the happy path.
 	KindFault    Kind = "fault"    // injected storage fault (Tag: fault class)
-	KindRetry    Kind = "retry"    // storage operation retried after a transient fault
+	KindRetry    Kind = "retry"    // operation retried: storage (Tag: op) or transport retransmit (Tag: "retransmit")
 	KindScrub    Kind = "scrub"    // scrub pass quarantined corrupt snapshots
 	KindDegraded Kind = "degraded" // recovery fell back below the best straight cut
+	// Network-chaos kinds: the link-level fault injector and the hardened
+	// transport publish every injected network fault, heartbeat suspicion,
+	// queue-backlog watermark crossing, and partition heal.
+	KindNetFault Kind = "netfault" // injected network fault (Tag: drop/dup/reorder/delay/partition)
+	KindSuspect  Kind = "suspect"  // heartbeat failure detector suspected a silent peer
+	KindBacklog  Kind = "backlog"  // a channel queue crossed the configured backlog watermark
+	KindHeal     Kind = "heal"     // a directed partition window closed (first frame through)
 )
 
 // MsgRef identifies an application message (sender, receiver, per-channel

@@ -42,6 +42,9 @@ type queue struct {
 	cond   *sync.Cond
 	items  []Message
 	closed bool
+	// onDepth, when set, observes the queue depth after every push (the
+	// hardened transport's backlog watermark tap). Called outside q.mu.
+	onDepth func(depth int)
 }
 
 func newQueue() *queue {
@@ -53,8 +56,12 @@ func newQueue() *queue {
 func (q *queue) push(m Message) {
 	q.mu.Lock()
 	q.items = append(q.items, m)
+	depth := len(q.items)
 	q.mu.Unlock()
 	q.cond.Signal()
+	if q.onDepth != nil {
+		q.onDepth(depth)
+	}
 }
 
 // pop blocks until a message is available or the queue is aborted.
@@ -123,6 +130,12 @@ type Network struct {
 	chans [][]*queue // [from][to], app + marker traffic
 	ctrl  []*queue   // [to], out-of-band control traffic
 
+	// tr, when non-nil, is the hardened transport (Config.Net): every
+	// frame crosses lossy links with sequencing, acks, and retransmission
+	// before reaching the queues above. Nil keeps the legacy reliable
+	// direct-push fabric, byte-for-byte identical to earlier revisions.
+	tr *transport
+
 	mu  sync.Mutex
 	log [][][]Message // [from][to] append-only log of app messages
 }
@@ -150,22 +163,47 @@ func NewNetwork(n int) *Network {
 func (net *Network) N() int { return net.n }
 
 // Send delivers an application message (asynchronous, FIFO) and logs it
-// for potential rollback re-injection.
+// for potential rollback re-injection. The sender-based log records the
+// message before it touches the (possibly lossy) transport: recovery
+// reconstructs in-flight messages from the log, never from the wire.
 func (net *Network) Send(m Message) {
 	net.mu.Lock()
 	net.log[m.From][m.To] = append(net.log[m.From][m.To], m)
 	net.mu.Unlock()
+	if lk := net.dataLink(m.From, m.To); lk != nil {
+		lk.send(m)
+		return
+	}
 	net.chans[m.From][m.To].push(m)
 }
 
-// SendMarker delivers an in-band marker on the (from, to) channel.
+// SendMarker delivers an in-band marker on the (from, to) channel. Markers
+// share the data link with application messages so the in-band FIFO
+// ordering the Chandy-Lamport protocol depends on survives the transport.
 func (net *Network) SendMarker(m Message) {
+	if lk := net.dataLink(m.From, m.To); lk != nil {
+		lk.send(m)
+		return
+	}
 	net.chans[m.From][m.To].push(m)
 }
 
 // SendCtrl delivers an out-of-band control message to m.To.
 func (net *Network) SendCtrl(m Message) {
+	if net.tr != nil && m.From != m.To && m.From >= 0 && m.From < net.n {
+		net.tr.ctrl[m.From][m.To].send(m)
+		return
+	}
 	net.ctrl[m.To].push(m)
+}
+
+// dataLink returns the hardened in-band link for (from, to), or nil when
+// the network is not hardened (or for degenerate self-sends).
+func (net *Network) dataLink(from, to int) *link {
+	if net.tr == nil || from == to {
+		return nil
+	}
+	return net.tr.data[from][to]
 }
 
 // Recv blocks for the next in-band message on channel (from, to).
@@ -209,6 +247,15 @@ func (net *Network) Abort() {
 // recovery line. Messages the sender will regenerate during replay
 // (seq > sendSeq[p][q]) are dropped from the log as well.
 func (net *Network) ResetForRecovery(sendSeq, recvSeq [][]int) {
+	// Invalidate the transport first: bumping link generations guarantees
+	// that frames still on the (chaos-delayed) wire and pending retransmit
+	// timers from the rolled-back incarnation are discarded on arrival,
+	// and cannot pollute the reconstructed channel state below. In-flight
+	// messages are re-injected from the sender-based log directly into the
+	// queues — recovery bypasses the lossy links entirely.
+	if net.tr != nil {
+		net.tr.reset()
+	}
 	net.mu.Lock()
 	defer net.mu.Unlock()
 	for p := 0; p < net.n; p++ {

@@ -100,6 +100,14 @@ type Config struct {
 	// not just the final one, and it is independent of DisableTrace.
 	// Implementations must be safe for concurrent use.
 	Observer obs.Observer
+	// Net, when set, hardens the network: every message crosses a lossy
+	// link layer (optionally driven by a fault injector, Net.Chaos) with
+	// per-channel sequencing, duplicate suppression, ack/retransmit under
+	// a netestim-driven RTO, and a heartbeat failure detector that turns
+	// silent peers into ordinary crash→recovery. Nil keeps the legacy
+	// reliable in-process fabric, behaviourally identical to prior
+	// revisions.
+	Net *NetConfig
 	// Timeout aborts a deadlocked incarnation (default 30s). Programs with
 	// mismatched sends/receives otherwise block forever.
 	Timeout time.Duration
@@ -191,6 +199,12 @@ func Run(cfg Config) (*Result, error) {
 	n := cfg.Nproc
 	net := NewNetwork(n)
 	counters := &metrics.Counters{}
+	if cfg.Net != nil {
+		net.harden(*cfg.Net, counters, cfg.Observer, cfg.Jitter+0x7f4a7c15)
+		// Stop retransmit timers and orphan delayed deliveries once the
+		// run is over, whatever path it exits by.
+		defer net.tr.shutdown()
+	}
 	res := &Result{Store: st}
 	// Every runtime access to stable storage goes through the retry
 	// wrapper; Result.Store and Scrub still see the caller's store
@@ -272,6 +286,25 @@ func Run(cfg Config) (*Result, error) {
 			timedOut.Store(true)
 			net.Abort()
 		})
+		// The heartbeat failure detector (hardened networks only) converts
+		// a silently lost peer — an unhealed partition, total ack loss —
+		// into the same abort→recover path as an injected crash.
+		inc := incarnation
+		var suspectErr atomic.Pointer[error]
+		stopDetector := net.startDetector(func(peer int, silence time.Duration) {
+			err := fmt.Errorf("heartbeat: process %d silent for %v: %w",
+				peer, silence.Round(time.Millisecond), ErrProcFailed)
+			if suspectErr.CompareAndSwap(nil, &err) {
+				counters.Inc(MetricHBSuspects, 1)
+				if cfg.Observer != nil {
+					cfg.Observer.OnEvent(obs.Event{
+						Kind: obs.KindSuspect, Proc: peer, Inc: inc,
+						Label: err.Error(),
+					})
+				}
+				net.Abort()
+			}
+		})
 		var failure error
 		var fatal error
 		for i := 0; i < n; i++ {
@@ -293,6 +326,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		watchdog.Stop()
+		stopDetector()
+		if failure == nil {
+			if susp := suspectErr.Load(); susp != nil {
+				// Every process exited with ErrAborted because the detector
+				// pulled the plug: the suspicion is the failure.
+				failure = *susp
+			}
+		}
 		if fatal != nil {
 			return nil, fatal
 		}

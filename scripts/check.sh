@@ -25,4 +25,7 @@ go test -race ./...
 echo '>> chaos soak (go test -race -run TestChaosSoak -count=1 .)'
 go test -race -run 'TestChaosSoak' -count=1 .
 
+echo '>> network chaos soak (go test -race -run TestNetChaosSoak -count=1 .)'
+go test -race -run 'TestNetChaosSoak' -count=1 .
+
 echo 'OK'
