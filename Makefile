@@ -23,8 +23,11 @@ check:
 fmt:
 	gofmt -w .
 
+# bench runs the benchmark harness and writes BENCH_sweeps.json /
+# BENCH_simcore.json, the perf trajectory baseline. BENCHTIME=<d|Nx>
+# overrides -benchtime (default 1x: smoke; use e.g. 2s for stable numbers).
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	BENCHTIME=$(BENCHTIME) ./scripts/bench.sh
 
 # chaos runs the fault-injection soak: fixed seeds, all store kinds,
 # storage faults + generated crash schedules, under the race detector.

@@ -12,8 +12,10 @@ package repro_test
 // overrides the seed count (CI uses a smaller matrix).
 
 import (
+	"fmt"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -45,63 +47,83 @@ func TestChaosSoak(t *testing.T) {
 	// must fire.
 	seeds := int64(soakSeeds(t, 24))
 	checkFleet := fleetAssertions(t, int(seeds), 24)
-	var totalFaults, totalRetries, totalDegraded, totalRestarts int64
+	var (
+		mu                                                      sync.Mutex
+		totalFaults, totalRetries, totalDegraded, totalRestarts int64
+	)
 	kinds := map[obs.Kind]int{}
-	for seed := int64(0); seed < seeds; seed++ {
-		var inner storage.Store
-		switch seed % 3 {
-		case 0:
-			inner = storage.NewMemory()
-		case 1:
-			inner = storage.NewIncremental(4)
-		default:
-			fs, err := storage.NewFile(filepath.Join(t.TempDir(), "ckpt"))
-			if err != nil {
-				t.Fatal(err)
-			}
-			inner = fs
+	// The per-seed runs are independent — every chaos decision is hashed
+	// from (seed, class, key, attempt), never from cross-seed state or
+	// scheduling — so they soak in parallel. Each seed's convergence check
+	// against the serial clean run asserts the results are unchanged by
+	// the interleaving. The enclosing group subtest completes only after
+	// all parallel seeds finish, so the fleet assertions below see the
+	// full aggregates.
+	t.Run("seeds", func(t *testing.T) {
+		for seed := int64(0); seed < seeds; seed++ {
+			t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+				t.Parallel()
+				var inner storage.Store
+				switch seed % 3 {
+				case 0:
+					inner = storage.NewMemory()
+				case 1:
+					inner = storage.NewIncremental(4)
+				default:
+					fs, err := storage.NewFile(filepath.Join(t.TempDir(), "ckpt"))
+					if err != nil {
+						t.Fatal(err)
+					}
+					inner = fs
+				}
+				rates := chaos.DefaultRates(0.12)
+				if seed%2 == 1 {
+					// Rot-heavy profile: with a large fraction of snapshots damaged
+					// on disk, the recovery frontier itself is corrupt and selection
+					// must walk down the degradation ladder. (At the default rates
+					// a flipped checkpoint is usually shadowed by a newer clean
+					// instance before any crash probes it.)
+					rates = chaos.Rates{WriteError: 0.05, ReadError: 0.05, TornWrite: 0.05, BitFlip: 0.4}
+				}
+				rec := obs.NewRecorder()
+				cst := chaos.New(inner, seed, rates, rec)
+				crashes := chaos.CrashSchedule(seed, chaos.ScheduleConfig{
+					Nproc: n, Lambda: 1.2, MaxIncarnations: 3, MaxEvents: 35,
+				})
+				res, err := sim.Run(sim.Config{
+					Program:  prog,
+					Nproc:    n,
+					Store:    cst,
+					Crashes:  crashes,
+					Observer: rec,
+					Jitter:   seed,
+					// Storage faults crash processes beyond the schedule; give
+					// recovery generous headroom.
+					MaxRestarts: len(crashes) + 25,
+					Timeout:     20 * time.Second,
+				})
+				if err != nil {
+					t.Fatalf("seed %d (%T): %v (schedule %v)", seed, inner, err, crashes)
+				}
+				if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+					t.Fatalf("seed %d (%T): diverged under chaos\nclean: %v\nchaos: %v",
+						seed, inner, clean.FinalVars, res.FinalVars)
+				}
+				st := cst.Stats()
+				mu.Lock()
+				totalFaults += st.Total()
+				totalRetries += int64(res.Metrics.Custom[sim.MetricStoreRetries])
+				totalDegraded += int64(res.Metrics.Custom[sim.MetricRecoveryDegraded])
+				totalRestarts += int64(res.Restarts)
+				for _, e := range rec.Events() {
+					kinds[e.Kind]++
+				}
+				mu.Unlock()
+			})
 		}
-		rates := chaos.DefaultRates(0.12)
-		if seed%2 == 1 {
-			// Rot-heavy profile: with a large fraction of snapshots damaged
-			// on disk, the recovery frontier itself is corrupt and selection
-			// must walk down the degradation ladder. (At the default rates
-			// a flipped checkpoint is usually shadowed by a newer clean
-			// instance before any crash probes it.)
-			rates = chaos.Rates{WriteError: 0.05, ReadError: 0.05, TornWrite: 0.05, BitFlip: 0.4}
-		}
-		rec := obs.NewRecorder()
-		cst := chaos.New(inner, seed, rates, rec)
-		crashes := chaos.CrashSchedule(seed, chaos.ScheduleConfig{
-			Nproc: n, Lambda: 1.2, MaxIncarnations: 3, MaxEvents: 35,
-		})
-		res, err := sim.Run(sim.Config{
-			Program:  prog,
-			Nproc:    n,
-			Store:    cst,
-			Crashes:  crashes,
-			Observer: rec,
-			Jitter:   seed,
-			// Storage faults crash processes beyond the schedule; give
-			// recovery generous headroom.
-			MaxRestarts: len(crashes) + 25,
-			Timeout:     20 * time.Second,
-		})
-		if err != nil {
-			t.Fatalf("seed %d (%T): %v (schedule %v)", seed, inner, err, crashes)
-		}
-		if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
-			t.Fatalf("seed %d (%T): diverged under chaos\nclean: %v\nchaos: %v",
-				seed, inner, clean.FinalVars, res.FinalVars)
-		}
-		st := cst.Stats()
-		totalFaults += st.Total()
-		totalRetries += int64(res.Metrics.Custom[sim.MetricStoreRetries])
-		totalDegraded += int64(res.Metrics.Custom[sim.MetricRecoveryDegraded])
-		totalRestarts += int64(res.Restarts)
-		for _, e := range rec.Events() {
-			kinds[e.Kind]++
-		}
+	})
+	if t.Failed() {
+		return
 	}
 
 	if !checkFleet {

@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_*.json files that track the repo's performance
+// trajectory across PRs:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH_simcore.json
+//
+// Each benchmark result line becomes one JSON object carrying the package
+// (from the interleaved "pkg:" context lines), the benchmark name split
+// from its -cpu suffix, iteration count, ns/op, the -benchmem columns when
+// present, and every custom b.ReportMetric column (e.g. "trials/s").
+// Non-benchmark lines (build noise, PASS/ok, logs) are ignored, so the
+// whole `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Pkg         string             `json:"pkg,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+	results, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads a `go test -bench` stream and returns every benchmark
+// result, tagged with the most recent "pkg:" context line.
+func Parse(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	results := []Result{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		res.Pkg = pkg
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-P  N  v unit  v unit ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0]}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b := v
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			res.AllocsPerOp = &a
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, sawNs
+}

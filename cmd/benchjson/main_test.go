@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R)
+BenchmarkTransportRoundTrip 	   20000	      1550 ns/op	     638 B/op	       2 allocs/op
+BenchmarkQueuePushPop-8     	   10000	        62.93 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/sim	0.034s
+pkg: repro/internal/montecarlo
+BenchmarkSimulateGamma/workers=2-8 	     100	   5217841 ns/op	    2215 B/op	      29 allocs/op	  38330000 trials/s
+--- BENCH: some log line
+BenchmarkBroken 	 notanumber	 12 ns/op
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+
+	rt := results[0]
+	if rt.Pkg != "repro/internal/sim" || rt.Name != "BenchmarkTransportRoundTrip" {
+		t.Errorf("round trip identity = %q %q", rt.Pkg, rt.Name)
+	}
+	if rt.Procs != 0 || rt.Iterations != 20000 || rt.NsPerOp != 1550 {
+		t.Errorf("round trip = %+v", rt)
+	}
+	if rt.BytesPerOp == nil || *rt.BytesPerOp != 638 || rt.AllocsPerOp == nil || *rt.AllocsPerOp != 2 {
+		t.Errorf("round trip benchmem = %+v", rt)
+	}
+
+	qp := results[1]
+	if qp.Name != "BenchmarkQueuePushPop" || qp.Procs != 8 || qp.NsPerOp != 62.93 {
+		t.Errorf("queue = %+v", qp)
+	}
+
+	mc := results[2]
+	if mc.Pkg != "repro/internal/montecarlo" || mc.Name != "BenchmarkSimulateGamma/workers=2" {
+		t.Errorf("montecarlo identity = %+v", mc)
+	}
+	if mc.Metrics["trials/s"] != 38330000 {
+		t.Errorf("custom metric = %+v", mc.Metrics)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := `building...
+BenchmarkOnlyName
+Benchmark 12
+ok   repro 0.1s
+`
+	results, err := Parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from noise", len(results))
+	}
+}

@@ -16,12 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/montecarlo"
 	"repro/internal/mpl"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/protocol"
 	"repro/internal/recovery"
 	"repro/internal/sim"
@@ -50,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		lambda = fs.Float64("lambda1", markov.PaperBaseline.Lambda1, "per-process failure rate")
 		wm     = fs.Float64("wm", markov.PaperBaseline.WM, "message setup time w_m (seconds)")
 		work   = fs.Int("work", 300000, "runtime figure: work units per iteration (1 virtual ms each; 300000 ≈ the paper's T=300s interval)")
+		wrk    = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers (1 = serial; output is identical either way)")
 		cpuPro = fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark to this file")
 		memPro = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -93,10 +97,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	b := markov.PaperBaseline
 	b.Lambda1 = *lambda
 	b.WM = *wm
+	if _, err := par.Workers(*wrk); err != nil {
+		fmt.Fprintln(stderr, "chkptbench:", err)
+		return 2
+	}
 
 	switch *figure {
 	case "8":
-		pts, err := markov.Figure8(b, markov.DefaultFigure8Ns())
+		pts, err := markov.Figure8Workers(b, markov.DefaultFigure8Ns(), *wrk)
 		if err != nil {
 			fmt.Fprintln(stderr, "chkptbench:", err)
 			return 1
@@ -107,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintf(stdout, "%-6.0f %-12.6g %-12.6g %-12.6g\n", pt.X, pt.ApplDriven, pt.SaS, pt.CL)
 		}
 	case "9":
-		pts, err := markov.Figure9(b, *n, markov.DefaultFigure9WMs())
+		pts, err := markov.Figure9Workers(b, *n, markov.DefaultFigure9WMs(), *wrk)
 		if err != nil {
 			fmt.Fprintln(stderr, "chkptbench:", err)
 			return 1
@@ -118,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintf(stdout, "%-8.4g %-12.6g %-12.6g %-12.6g\n", pt.X, pt.ApplDriven, pt.SaS, pt.CL)
 		}
 	case "validate":
-		rows, err := montecarlo.ValidateFigure8(b, []int{2, 16, 128, 1024}, *trials, 1)
+		rows, err := montecarlo.ValidateFigure8Workers(b, []int{2, 16, 128, 1024}, *trials, 1, *wrk)
 		if err != nil {
 			fmt.Fprintln(stderr, "chkptbench:", err)
 			return 1
@@ -130,11 +138,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				row.Protocol, row.N, row.Analytic, row.Simulated)
 		}
 	case "messages":
-		return runMessages(stdout, stderr)
+		return runMessages(stdout, stderr, *wrk)
 	case "domino":
-		return runDomino(stdout, stderr)
+		return runDomino(stdout, stderr, *wrk)
 	case "runtime":
-		return runEmpirical(stdout, stderr, *work)
+		return runEmpirical(stdout, stderr, *work, *wrk)
 	default:
 		fmt.Fprintf(stderr, "chkptbench: unknown figure %q\n", *figure)
 		return 2
@@ -142,36 +150,54 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	return 0
 }
 
+// sweep runs f over items on up to workers goroutines, each returning its
+// fully formatted output block, and writes the blocks to stdout in input
+// order — parallel sweeps print byte-identical to serial ones. On error it
+// reports the first failure and returns 1.
+func sweep[T any](stdout, stderr io.Writer, workers int, items []T, f func(item T) (string, error)) int {
+	blocks, err := par.Map(context.Background(), workers, items,
+		func(_ context.Context, _ int, item T) (string, error) {
+			return f(item)
+		})
+	if err != nil {
+		fmt.Fprintln(stderr, "chkptbench:", err)
+		return 1
+	}
+	for _, blk := range blocks {
+		io.WriteString(stdout, blk)
+	}
+	return 0
+}
+
 // runMessages measures real control-message counts per checkpoint round on
-// the concurrent runtime and compares them with the §4.1 formulas.
-func runMessages(stdout, stderr io.Writer) int {
+// the concurrent runtime and compares them with the §4.1 formulas. The
+// per-scale measurements are independent full runs, so they sweep in
+// parallel; each run's processes are already goroutines, so worker counts
+// here multiply goroutines, not correctness concerns.
+func runMessages(stdout, stderr io.Writer, workers int) int {
 	const iters = 2
 	fmt.Fprintln(stdout, "# measured control messages per checkpoint round vs the paper's formulas")
 	fmt.Fprintln(stdout, "# n  appl  sas(meas)  sas=5(n-1)  cl(meas)  cl markers=n(n-1)")
-	for _, n := range []int{2, 4, 8, 12} {
+	return sweep(stdout, stderr, workers, []int{2, 4, 8, 12}, func(n int) (string, error) {
 		prog := corpus.JacobiFig1(iters)
 		appl, err := sim.Run(sim.Config{Program: prog, Nproc: n, DisableTrace: true})
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
 		sas, err := sim.Run(sim.Config{Program: prog, Nproc: n, Hooks: protocol.SaS(0), DisableTrace: true})
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
 		cl, err := sim.Run(sim.Config{Program: prog, Nproc: n, Hooks: protocol.CL(0, protocol.NewCLCollector()), DisableTrace: true})
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
-		fmt.Fprintf(stdout, "%-4d %-6d %-10d %-11d %-9d %d\n",
+		return fmt.Sprintf("%-4d %-6d %-10d %-11d %-9d %d\n",
 			n,
 			appl.Metrics.CtrlMessages/iters,
 			sas.Metrics.CtrlMessages/iters, 5*(n-1),
-			cl.Metrics.CtrlMessages/iters, n*(n-1))
-	}
-	return 0
+			cl.Metrics.CtrlMessages/iters, n*(n-1)), nil
+	})
 }
 
 // runEmpirical measures overhead ratios on the concurrent runtime in
@@ -180,7 +206,7 @@ func runMessages(stdout, stderr io.Writer) int {
 // is the runtime counterpart of the analytic Figure 8 — coordination costs
 // (barrier stalls, marker floods) surface as measured time rather than as
 // a formula.
-func runEmpirical(stdout, stderr io.Writer, workUnits int) int {
+func runEmpirical(stdout, stderr io.Writer, workUnits, workers int) int {
 	const iters = 4
 	tm := sim.PaperTimeModel
 	// Per-iteration computation defaults to T ≈ 300 s (the paper's
@@ -188,49 +214,45 @@ func runEmpirical(stdout, stderr io.Writer, workUnits int) int {
 	fmt.Fprintf(stdout, "# empirical overhead ratio (virtual time), Jacobi workload, T≈%gs/interval\n",
 		float64(workUnits)/1000)
 	fmt.Fprintln(stdout, "# n  baseline(s)  appl-driven  SaS  C-L")
-	for _, n := range []int{2, 4, 8, 16} {
+	return sweep(stdout, stderr, workers, []int{2, 4, 8, 16}, func(n int) (string, error) {
 		prog := jacobiWithWork(iters, workUnits)
 		bare := mpl.Clone(prog)
 		stripChkpts(bare)
 
-		measure := func(p *mpl.Program, hooks sim.HooksFactory) (*sim.Result, bool) {
-			res, err := sim.Run(sim.Config{
+		measure := func(p *mpl.Program, hooks sim.HooksFactory) (*sim.Result, error) {
+			return sim.Run(sim.Config{
 				Program: p, Nproc: n, Hooks: hooks, Time: &tm, DisableTrace: true,
 			})
-			if err != nil {
-				fmt.Fprintln(stderr, "chkptbench:", err)
-				return nil, false
-			}
-			return res, true
 		}
-		base, ok := measure(bare, nil)
-		if !ok {
-			return 1
+		base, err := measure(bare, nil)
+		if err != nil {
+			return "", err
 		}
-		appl, ok := measure(prog, nil)
-		if !ok {
-			return 1
+		appl, err := measure(prog, nil)
+		if err != nil {
+			return "", err
 		}
-		sas, ok := measure(prog, protocol.SaS(0))
-		if !ok {
-			return 1
+		sas, err := measure(prog, protocol.SaS(0))
+		if err != nil {
+			return "", err
 		}
-		cl, ok := measure(prog, protocol.CL(0, protocol.NewCLCollector()))
-		if !ok {
-			return 1
+		cl, err := measure(prog, protocol.CL(0, protocol.NewCLCollector()))
+		if err != nil {
+			return "", err
 		}
-		fmt.Fprintf(stdout, "%-4d %-12.4f %-12.6f %-12.6f %-12.6f\n",
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%-4d %-12.4f %-12.6f %-12.6f %-12.6f\n",
 			n, base.VTime, appl.VTime/base.VTime-1, sas.VTime/base.VTime-1, cl.VTime/base.VTime-1)
 		// Where the overhead comes from: per-protocol distributions. The
 		// coordination-free scheme never stalls, so its stall histogram is
 		// empty by construction — that asymmetry IS the result.
-		printHist(stdout, n, "appl", sim.HistBarrierStallV, appl.Metrics)
-		printHist(stdout, n, "sas", sim.HistBarrierStallV, sas.Metrics)
-		printHist(stdout, n, "cl", sim.HistBarrierStallV, cl.Metrics)
-		printHist(stdout, n, "appl", sim.HistChkptSaveMS, appl.Metrics)
-		printHist(stdout, n, "sas", sim.HistChkptSaveMS, sas.Metrics)
-	}
-	return 0
+		printHist(&sb, n, "appl", sim.HistBarrierStallV, appl.Metrics)
+		printHist(&sb, n, "sas", sim.HistBarrierStallV, sas.Metrics)
+		printHist(&sb, n, "cl", sim.HistBarrierStallV, cl.Metrics)
+		printHist(&sb, n, "appl", sim.HistChkptSaveMS, appl.Metrics)
+		printHist(&sb, n, "sas", sim.HistChkptSaveMS, sas.Metrics)
+		return sb.String(), nil
+	})
 }
 
 // printHist emits one protocol's distribution as a plot-safe comment line.
@@ -290,12 +312,16 @@ func stripChkpts(p *mpl.Program) {
 // runDomino contrasts the application-driven scheme with uncoordinated
 // checkpointing on random workloads: useless checkpoints (Z-cycle
 // analysis) and rollback steps needed at recovery.
-func runDomino(stdout, stderr io.Writer) int {
+func runDomino(stdout, stderr io.Writer, workers int) int {
 	const n = 4
 	input := func(rank, i int) int { return rank ^ i }
 	fmt.Fprintln(stdout, "# useless checkpoints and recovery rollback distance, random workloads (n=4)")
 	fmt.Fprintln(stdout, "# workload  appl-ckpts  appl-useless  uncoord-ckpts  uncoord-useless  uncoord-rollbacks")
+	seeds := make([]int64, 0, 9)
 	for seed := int64(-1); seed < 8; seed++ {
+		seeds = append(seeds, seed)
+	}
+	return sweep(stdout, stderr, workers, seeds, func(seed int64) (string, error) {
 		prog := corpus.Random(seed)
 		label := fmt.Sprintf("seed%d", seed)
 		interval := 3 // timer-driven uncoordinated checkpoints
@@ -308,18 +334,15 @@ func runDomino(stdout, stderr io.Writer) int {
 		}
 		rep, err := core.Transform(prog, core.DefaultConfig)
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
 		applRes, err := sim.Run(sim.Config{Program: rep.Program, Nproc: n, Input: input})
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
 		applZ, err := zigzag.FromTrace(applRes.Trace)
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
 		applStats := applZ.Stats()
 
@@ -335,13 +358,11 @@ func runDomino(stdout, stderr io.Writer) int {
 			Hooks:   protocol.Uncoordinated(interval),
 		})
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
 		uncZ, err := zigzag.FromTrace(uncClean.Trace)
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
 		uncStats := uncZ.Stats()
 		victim := int(seed) % n
@@ -358,12 +379,10 @@ func runDomino(stdout, stderr io.Writer) int {
 			DisableTrace: true,
 		})
 		if err != nil {
-			fmt.Fprintln(stderr, "chkptbench:", err)
-			return 1
+			return "", err
 		}
-		fmt.Fprintf(stdout, "%-10s %-11d %-13d %-14d %-16d %d\n",
+		return fmt.Sprintf("%-10s %-11d %-13d %-14d %-16d %d\n",
 			label, applStats.Total, applStats.Useless,
-			uncStats.Total, uncStats.Useless, uncCrash.RolledBack)
-	}
-	return 0
+			uncStats.Total, uncStats.Useless, uncCrash.RolledBack), nil
+	})
 }

@@ -17,8 +17,11 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // Params are the model parameters for one protocol configuration. All
@@ -176,58 +179,71 @@ type Point struct {
 }
 
 // Figure8 regenerates the paper's Figure 8: overhead ratio vs. number of
-// processes for the three protocols.
+// processes for the three protocols. Points are evaluated concurrently
+// (GOMAXPROCS workers); the closed forms are pure, so the series is
+// identical to a serial sweep.
 func Figure8(b Baseline, ns []int) ([]Point, error) {
-	points := make([]Point, 0, len(ns))
-	for _, n := range ns {
-		if n < 2 {
-			return nil, fmt.Errorf("markov: Figure 8 needs n >= 2, got %d", n)
-		}
-		pt := Point{X: float64(n)}
-		var err error
-		if pt.ApplDriven, err = OverheadRatio(b.ParamsFor(ApplDriven, n)); err != nil {
-			return nil, err
-		}
-		if pt.SaS, err = OverheadRatio(b.ParamsFor(SaS, n)); err != nil {
-			return nil, err
-		}
-		if pt.CL, err = OverheadRatio(b.ParamsFor(ChandyLamport, n)); err != nil {
-			return nil, err
-		}
-		points = append(points, pt)
-	}
-	return points, nil
+	return Figure8Workers(b, ns, 0)
+}
+
+// Figure8Workers is Figure8 with an explicit worker bound for the
+// per-point sweep (0 = GOMAXPROCS, 1 = serial).
+func Figure8Workers(b Baseline, ns []int, workers int) ([]Point, error) {
+	return par.Map(context.Background(), workers, ns,
+		func(_ context.Context, _, n int) (Point, error) {
+			if n < 2 {
+				return Point{}, fmt.Errorf("markov: Figure 8 needs n >= 2, got %d", n)
+			}
+			pt := Point{X: float64(n)}
+			var err error
+			if pt.ApplDriven, err = OverheadRatio(b.ParamsFor(ApplDriven, n)); err != nil {
+				return Point{}, err
+			}
+			if pt.SaS, err = OverheadRatio(b.ParamsFor(SaS, n)); err != nil {
+				return Point{}, err
+			}
+			if pt.CL, err = OverheadRatio(b.ParamsFor(ChandyLamport, n)); err != nil {
+				return Point{}, err
+			}
+			return pt, nil
+		})
 }
 
 // Figure9 regenerates the paper's Figure 9: overhead ratio vs. message
 // setup time w_m at fixed scale n. The appl-driven curve is flat by
 // construction (no coordination messages); SaS and C-L degrade as the
-// network slows.
+// network slows. Points are evaluated concurrently (GOMAXPROCS workers);
+// the closed forms are pure, so the series is identical to a serial sweep.
 func Figure9(b Baseline, n int, wms []float64) ([]Point, error) {
+	return Figure9Workers(b, n, wms, 0)
+}
+
+// Figure9Workers is Figure9 with an explicit worker bound for the
+// per-point sweep (0 = GOMAXPROCS, 1 = serial).
+func Figure9Workers(b Baseline, n int, wms []float64, workers int) ([]Point, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("markov: Figure 9 needs n >= 2, got %d", n)
 	}
-	points := make([]Point, 0, len(wms))
-	for _, wm := range wms {
-		if wm < 0 {
-			return nil, fmt.Errorf("markov: negative w_m %v", wm)
-		}
-		bb := b
-		bb.WM = wm
-		pt := Point{X: wm}
-		var err error
-		if pt.ApplDriven, err = OverheadRatio(bb.ParamsFor(ApplDriven, n)); err != nil {
-			return nil, err
-		}
-		if pt.SaS, err = OverheadRatio(bb.ParamsFor(SaS, n)); err != nil {
-			return nil, err
-		}
-		if pt.CL, err = OverheadRatio(bb.ParamsFor(ChandyLamport, n)); err != nil {
-			return nil, err
-		}
-		points = append(points, pt)
-	}
-	return points, nil
+	return par.Map(context.Background(), workers, wms,
+		func(_ context.Context, _ int, wm float64) (Point, error) {
+			if wm < 0 {
+				return Point{}, fmt.Errorf("markov: negative w_m %v", wm)
+			}
+			bb := b
+			bb.WM = wm
+			pt := Point{X: wm}
+			var err error
+			if pt.ApplDriven, err = OverheadRatio(bb.ParamsFor(ApplDriven, n)); err != nil {
+				return Point{}, err
+			}
+			if pt.SaS, err = OverheadRatio(bb.ParamsFor(SaS, n)); err != nil {
+				return Point{}, err
+			}
+			if pt.CL, err = OverheadRatio(bb.ParamsFor(ChandyLamport, n)); err != nil {
+				return Point{}, err
+			}
+			return pt, nil
+		})
 }
 
 // DefaultFigure8Ns is the n sweep used by the bench harness.

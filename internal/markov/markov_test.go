@@ -297,3 +297,43 @@ func BenchmarkGammaFromChain(b *testing.B) {
 		}
 	}
 }
+
+func TestFigureSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The sweeps are pure closed-form evaluations, so the parallel fan-out
+	// must reproduce the serial series exactly, point for point.
+	ref8, err := Figure8Workers(PaperBaseline, DefaultFigure8Ns(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref9, err := Figure9Workers(PaperBaseline, 64, DefaultFigure9WMs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 5, 16} {
+		got8, err := Figure8Workers(PaperBaseline, DefaultFigure8Ns(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got9, err := Figure9Workers(PaperBaseline, 64, DefaultFigure9WMs(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref8 {
+			if got8[i] != ref8[i] {
+				t.Errorf("workers=%d: Figure 8 point %d = %+v, want %+v", workers, i, got8[i], ref8[i])
+			}
+		}
+		for i := range ref9 {
+			if got9[i] != ref9[i] {
+				t.Errorf("workers=%d: Figure 9 point %d = %+v, want %+v", workers, i, got9[i], ref9[i])
+			}
+		}
+	}
+	// Invalid points must surface from the parallel sweep too.
+	if _, err := Figure8Workers(PaperBaseline, []int{2, 1}, 4); err == nil {
+		t.Error("Figure8Workers accepted n=1")
+	}
+	if _, err := Figure9Workers(PaperBaseline, 64, []float64{0.001, -1}, 4); err == nil {
+		t.Error("Figure9Workers accepted negative w_m")
+	}
+}

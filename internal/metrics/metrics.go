@@ -10,67 +10,143 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counters accumulates protocol-relevant event counts for one run. The zero
 // value is ready to use and all methods are safe for concurrent use.
+//
+// The fixed fields are plain atomics and the named counters live in a
+// sharded map with per-shard RW locks, so the hot increment paths — every
+// message send in the simulator goes through one — never contend on a
+// single mutex. Each field is individually exact; a Snapshot taken while
+// writers are active may interleave fields from slightly different moments
+// (the runtime only snapshots at quiescent points, where the copy is
+// exact).
 type Counters struct {
-	mu sync.Mutex
+	appMessages     atomic.Int64
+	ctrlMessages    atomic.Int64
+	ctrlBytes       atomic.Int64
+	checkpoints     atomic.Int64
+	forced          atomic.Int64
+	rollbacks       atomic.Int64
+	restartedEvents atomic.Int64
+	blocked         atomic.Int64 // nanoseconds
 
-	appMessages     int64
-	ctrlMessages    int64
-	ctrlBytes       int64
-	checkpoints     int64
-	forced          int64
-	rollbacks       int64
-	restartedEvents int64
-	blocked         time.Duration
-	custom          map[string]int64
-	hists           map[string]*Histogram
+	custom customMap
+
+	hmu   sync.Mutex
+	hists map[string]*Histogram
+}
+
+// customShards is the stripe count of the named-counter map. Small powers
+// of two beyond the typical core count stop cross-core increments of
+// *different* names from serializing on one lock.
+const customShards = 16
+
+// customMap is a name → counter map striped across customShards shards.
+// The common case (the name already exists) takes a shard read-lock and an
+// atomic add; the write-lock is only held to insert a new name.
+type customMap struct {
+	shards [customShards]struct {
+		mu sync.RWMutex
+		m  map[string]*atomic.Int64
+	}
+}
+
+// shard picks the stripe for a name (FNV-1a).
+func (c *customMap) shard(name string) *struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Int64
+} {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &c.shards[h%customShards]
+}
+
+// counter returns the cell for name, creating it on first use.
+func (c *customMap) counter(name string) *atomic.Int64 {
+	s := c.shard(name)
+	s.mu.RLock()
+	v := s.m[name]
+	s.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v = s.m[name]; v != nil {
+		return v
+	}
+	if s.m == nil {
+		s.m = make(map[string]*atomic.Int64)
+	}
+	v = new(atomic.Int64)
+	s.m[name] = v
+	return v
+}
+
+// reset drops every named counter.
+func (c *customMap) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}
+
+// snapshot copies all named counters into one map (nil when empty).
+func (c *customMap) snapshot() map[string]int64 {
+	var out map[string]int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[k] = v.Load()
+		}
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // IncAppMessages records n application (payload) messages.
-func (c *Counters) IncAppMessages(n int) { c.add(&c.appMessages, n) }
+func (c *Counters) IncAppMessages(n int) { c.appMessages.Add(int64(n)) }
 
 // IncCtrlMessages records n protocol control messages of size bytes each
 // (markers, stop/resume broadcasts, acks — anything the application did not
 // send).
 func (c *Counters) IncCtrlMessages(n, bytes int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ctrlMessages += int64(n)
-	c.ctrlBytes += int64(n) * int64(bytes)
+	c.ctrlMessages.Add(int64(n))
+	c.ctrlBytes.Add(int64(n) * int64(bytes))
 }
 
 // IncCheckpoints records n voluntary checkpoints.
-func (c *Counters) IncCheckpoints(n int) { c.add(&c.checkpoints, n) }
+func (c *Counters) IncCheckpoints(n int) { c.checkpoints.Add(int64(n)) }
 
 // IncForced records n forced checkpoints (communication-induced protocols).
-func (c *Counters) IncForced(n int) { c.add(&c.forced, n) }
+func (c *Counters) IncForced(n int) { c.forced.Add(int64(n)) }
 
 // IncRollbacks records n process rollbacks.
-func (c *Counters) IncRollbacks(n int) { c.add(&c.rollbacks, n) }
+func (c *Counters) IncRollbacks(n int) { c.rollbacks.Add(int64(n)) }
 
 // IncRestartedEvents records n re-executed events lost to rollback.
-func (c *Counters) IncRestartedEvents(n int) { c.add(&c.restartedEvents, n) }
+func (c *Counters) IncRestartedEvents(n int) { c.restartedEvents.Add(int64(n)) }
 
 // AddBlocked records wall-clock time a process spent blocked on protocol
 // coordination (not on application receives).
-func (c *Counters) AddBlocked(d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.blocked += d
-}
+func (c *Counters) AddBlocked(d time.Duration) { c.blocked.Add(int64(d)) }
 
 // Inc bumps a named custom counter.
 func (c *Counters) Inc(name string, n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.custom == nil {
-		c.custom = make(map[string]int64)
-	}
-	c.custom[name] += int64(n)
+	c.custom.counter(name).Add(int64(n))
 }
 
 // Max raises a named custom counter to v if v exceeds its current value —
@@ -79,13 +155,12 @@ func (c *Counters) Inc(name string, n int) {
 // merging snapshots turns a watermark into a sum; aggregate watermarks
 // across runs by taking the max of the per-run snapshots instead.
 func (c *Counters) Max(name string, v int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.custom == nil {
-		c.custom = make(map[string]int64)
-	}
-	if v > c.custom[name] {
-		c.custom[name] = v
+	cell := c.custom.counter(name)
+	for {
+		cur := cell.Load()
+		if v <= cur || cell.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -94,7 +169,7 @@ func (c *Counters) Max(name string, v int64) {
 // into per-event shapes: how long each barrier stall was, not just their
 // sum.
 func (c *Counters) ObserveHist(name string, v float64) {
-	c.mu.Lock()
+	c.hmu.Lock()
 	if c.hists == nil {
 		c.hists = make(map[string]*Histogram)
 	}
@@ -103,7 +178,7 @@ func (c *Counters) ObserveHist(name string, v float64) {
 		h = NewHistogram()
 		c.hists[name] = h
 	}
-	c.mu.Unlock()
+	c.hmu.Unlock()
 	h.Observe(v)
 }
 
@@ -111,62 +186,51 @@ func (c *Counters) ObserveHist(name string, v float64) {
 // reused across incarnations or benchmark repetitions without
 // reallocation by callers holding a reference.
 func (c *Counters) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.appMessages = 0
-	c.ctrlMessages = 0
-	c.ctrlBytes = 0
-	c.checkpoints = 0
-	c.forced = 0
-	c.rollbacks = 0
-	c.restartedEvents = 0
-	c.blocked = 0
-	c.custom = nil
+	c.appMessages.Store(0)
+	c.ctrlMessages.Store(0)
+	c.ctrlBytes.Store(0)
+	c.checkpoints.Store(0)
+	c.forced.Store(0)
+	c.rollbacks.Store(0)
+	c.restartedEvents.Store(0)
+	c.blocked.Store(0)
+	c.custom.reset()
+	c.hmu.Lock()
 	c.hists = nil
+	c.hmu.Unlock()
 }
 
 // Merge folds a snapshot into the counters: totals add, distributions
 // merge bucket-by-bucket. It aggregates per-run snapshots into whole-sweep
 // statistics. Merging histograms with different bucket bounds fails.
 func (c *Counters) Merge(s Snapshot) error {
-	c.mu.Lock()
-	c.appMessages += s.AppMessages
-	c.ctrlMessages += s.CtrlMessages
-	c.ctrlBytes += s.CtrlBytes
-	c.checkpoints += s.Checkpoints
-	c.forced += s.Forced
-	c.rollbacks += s.Rollbacks
-	c.restartedEvents += s.RestartedEvents
-	c.blocked += s.Blocked
-	if len(s.Custom) > 0 && c.custom == nil {
-		c.custom = make(map[string]int64, len(s.Custom))
-	}
+	c.appMessages.Add(s.AppMessages)
+	c.ctrlMessages.Add(s.CtrlMessages)
+	c.ctrlBytes.Add(s.CtrlBytes)
+	c.checkpoints.Add(s.Checkpoints)
+	c.forced.Add(s.Forced)
+	c.rollbacks.Add(s.Rollbacks)
+	c.restartedEvents.Add(s.RestartedEvents)
+	c.blocked.Add(int64(s.Blocked))
 	for k, v := range s.Custom {
-		c.custom[k] += v
+		c.custom.counter(k).Add(v)
 	}
-	if len(s.Hists) > 0 && c.hists == nil {
-		c.hists = make(map[string]*Histogram, len(s.Hists))
-	}
-	c.mu.Unlock()
 	for name, hs := range s.Hists {
-		c.mu.Lock()
+		c.hmu.Lock()
+		if c.hists == nil {
+			c.hists = make(map[string]*Histogram, len(s.Hists))
+		}
 		h, ok := c.hists[name]
 		if !ok {
 			h = NewHistogram(hs.Bounds...)
 			c.hists[name] = h
 		}
-		c.mu.Unlock()
+		c.hmu.Unlock()
 		if err := h.merge(hs); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
 	return nil
-}
-
-func (c *Counters) add(field *int64, n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	*field += int64(n)
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -183,32 +247,28 @@ type Snapshot struct {
 	Hists           map[string]HistSnapshot
 }
 
-// Snapshot returns a consistent copy of all counters.
+// Snapshot returns a copy of all counters. Each field is read atomically;
+// see the Counters doc for the cross-field caveat under concurrent writes.
 func (c *Counters) Snapshot() Snapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := Snapshot{
-		AppMessages:     c.appMessages,
-		CtrlMessages:    c.ctrlMessages,
-		CtrlBytes:       c.ctrlBytes,
-		Checkpoints:     c.checkpoints,
-		Forced:          c.forced,
-		Rollbacks:       c.rollbacks,
-		RestartedEvents: c.restartedEvents,
-		Blocked:         c.blocked,
+		AppMessages:     c.appMessages.Load(),
+		CtrlMessages:    c.ctrlMessages.Load(),
+		CtrlBytes:       c.ctrlBytes.Load(),
+		Checkpoints:     c.checkpoints.Load(),
+		Forced:          c.forced.Load(),
+		Rollbacks:       c.rollbacks.Load(),
+		RestartedEvents: c.restartedEvents.Load(),
+		Blocked:         time.Duration(c.blocked.Load()),
 	}
-	if len(c.custom) > 0 {
-		s.Custom = make(map[string]int64, len(c.custom))
-		for k, v := range c.custom {
-			s.Custom[k] = v
-		}
-	}
+	s.Custom = c.custom.snapshot()
+	c.hmu.Lock()
 	if len(c.hists) > 0 {
 		s.Hists = make(map[string]HistSnapshot, len(c.hists))
 		for k, h := range c.hists {
 			s.Hists[k] = h.Snapshot()
 		}
 	}
+	c.hmu.Unlock()
 	return s
 }
 

@@ -100,3 +100,48 @@ func TestConcurrentIncrements(t *testing.T) {
 		t.Fatalf("concurrent counts lost: %+v", s)
 	}
 }
+
+// BenchmarkCountersInc pins the contention fix: every simulated message
+// send crosses these increments, so they are the metrics hot path. The
+// parallel variants hammer one Counters from GOMAXPROCS goroutines — the
+// pre-fix single-mutex implementation serializes here, the atomic/sharded
+// one must not.
+func BenchmarkCountersInc(b *testing.B) {
+	b.Run("fixed-serial", func(b *testing.B) {
+		var c Counters
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.IncAppMessages(1)
+		}
+	})
+	b.Run("fixed-parallel", func(b *testing.B) {
+		var c Counters
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.IncAppMessages(1)
+			}
+		})
+	})
+	b.Run("named-parallel", func(b *testing.B) {
+		var c Counters
+		c.Inc("net_drops", 0) // pre-created: steady-state path, not first-insert
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc("net_drops", 1)
+			}
+		})
+	})
+	b.Run("max-parallel", func(b *testing.B) {
+		var c Counters
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			var d int64
+			for pb.Next() {
+				d++
+				c.Max("net_backlog_max", d%512)
+			}
+		})
+	})
+}

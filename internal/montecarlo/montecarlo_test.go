@@ -1,11 +1,15 @@
 package montecarlo
 
 import (
+	"errors"
+	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/markov"
+	"repro/internal/par"
 )
 
 func TestSimulateGammaMatchesClosedForm(t *testing.T) {
@@ -79,6 +83,54 @@ func TestSimulateValidation(t *testing.T) {
 	if _, err := SimulateGamma(Config{Params: markov.Params{}, Trials: 10}); err == nil {
 		t.Error("invalid params accepted")
 	}
+	_, err := SimulateGamma(Config{Params: markov.Params{Lambda: 1, T: 1}, Trials: 10, Workers: -3})
+	var inv *par.InvalidWorkersError
+	if !errors.As(err, &inv) || inv.Workers != -3 {
+		t.Errorf("Workers=-3: err = %v, want *par.InvalidWorkersError{-3}", err)
+	}
+}
+
+func TestSimulateBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The load-bearing guarantee of the parallel engine: sharding is a
+	// function of Trials alone and shard moments merge in a fixed tree, so
+	// the Estimate must be IDENTICAL — not statistically close — for every
+	// worker count. Trial counts straddle shard boundaries on purpose
+	// (below one shard, exact multiples, ragged tails).
+	p := markov.Params{Lambda: 0.01, T: 50, O: 5, L: 8, R: 3}
+	for _, trials := range []int{1, 100, shardTrials, shardTrials + 1, 3*shardTrials + 17, 100000} {
+		ref, err := SimulateGamma(Config{Params: p, Trials: trials, Seed: 42, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Trials != trials {
+			t.Fatalf("trials=%d: estimate covers %d trials", trials, ref.Trials)
+		}
+		for _, workers := range []int{0, 2, 3, 8, 64} {
+			got, err := SimulateGamma(Config{Params: p, Trials: trials, Seed: 42, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Errorf("trials=%d workers=%d: %+v differs from workers=1 %+v",
+					trials, workers, got, ref)
+			}
+		}
+	}
+}
+
+func TestShardSeedsDecorrelated(t *testing.T) {
+	// Adjacent shards must get distinct seeds for every base seed,
+	// including the adversarial 0 and -1.
+	for _, seed := range []int64{0, -1, 1, 42, 1 << 40} {
+		seen := map[int64]int{}
+		for s := 0; s < 64; s++ {
+			ss := shardSeed(seed, s)
+			if prev, dup := seen[ss]; dup {
+				t.Fatalf("seed %d: shards %d and %d collide on %d", seed, prev, s, ss)
+			}
+			seen[ss] = s
+		}
+	}
 }
 
 func TestInfeasibleRegimeRejected(t *testing.T) {
@@ -124,17 +176,33 @@ func TestValidateFigure8AgreesWithAnalytic(t *testing.T) {
 	}
 }
 
+// BenchmarkSimulateGamma sweeps worker counts over a fixed trial budget:
+// the workers=1 sub-benchmark is the serial baseline the parallel speedup
+// in BENCH_sweeps.json is measured against, and every variant returns the
+// same bits.
 func BenchmarkSimulateGamma(b *testing.B) {
-	cfg := Config{
-		Params: markov.Params{Lambda: 0.01, T: 50, O: 5, L: 8, R: 3},
-		Trials: 10000,
-		Seed:   1,
+	const trials = 200000
+	counts := []int{1, 2, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp > 4 {
+		counts = append(counts, gmp)
 	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i)
-		if _, err := SimulateGamma(cfg); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{
+				Params:  markov.Params{Lambda: 0.01, T: 50, O: 5, L: 8, R: 3},
+				Trials:  trials,
+				Seed:    1,
+				Workers: workers,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i)
+				if _, err := SimulateGamma(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
 	}
 }

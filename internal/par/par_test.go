@@ -1,0 +1,158 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(context.Background(), workers, items, func(_ context.Context, i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, nil, func(_ context.Context, i int, v int) (int, error) {
+		t.Fatal("f called on empty input")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(nil) = %v, %v", got, err)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if _, err := Workers(-1); err == nil {
+		t.Error("Workers(-1) accepted")
+	} else {
+		var inv *InvalidWorkersError
+		if !errors.As(err, &inv) || inv.Workers != -1 {
+			t.Errorf("Workers(-1) error = %#v, want *InvalidWorkersError{-1}", err)
+		}
+	}
+	if n, err := Workers(0); err != nil || n != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, %v, want GOMAXPROCS", n, err)
+	}
+	if n, err := Workers(3); err != nil || n != 3 {
+		t.Errorf("Workers(3) = %d, %v", n, err)
+	}
+}
+
+func TestMapRejectsNegativeWorkers(t *testing.T) {
+	_, err := Map(context.Background(), -2, []int{1}, func(_ context.Context, i, v int) (int, error) {
+		return v, nil
+	})
+	var inv *InvalidWorkersError
+	if !errors.As(err, &inv) {
+		t.Fatalf("err = %v, want *InvalidWorkersError", err)
+	}
+}
+
+func TestMapFirstErrorIsLowestIndex(t *testing.T) {
+	items := make([]int, 200)
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(context.Background(), workers, items, func(_ context.Context, i, _ int) (int, error) {
+			if i%3 == 1 { // fails at 1, 4, 7, ... — lowest is 1
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return 0, nil
+		})
+		if err == nil || err.Error() != "boom at 1" {
+			t.Fatalf("workers=%d: err = %v, want boom at 1", workers, err)
+		}
+	}
+}
+
+func TestMapCancelsOnError(t *testing.T) {
+	items := make([]int, 1000)
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 4, items, func(ctx context.Context, i, _ int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("cancellation never short-circuited the sweep")
+	}
+}
+
+func TestMapHonorsParentContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, make([]int, 50), func(ctx context.Context, i, _ int) (int, error) {
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), workers, make([]int, 64), func(_ context.Context, i, _ int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds workers=%d", p, workers)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	items := []int{1, 2, 3, 4, 5}
+	if err := ForEach(context.Background(), 2, items, func(_ context.Context, _ int, v int) error {
+		sum.Add(int64(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 15 {
+		t.Fatalf("sum = %d, want 15", sum.Load())
+	}
+	wantErr := errors.New("nope")
+	err := ForEach(context.Background(), 2, items, func(_ context.Context, i int, _ int) error {
+		if i == 0 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+// Microbenchmarks of the simulator's per-message hot path. These pin the
+// allocation cuts of the parallel sweep engine PR: frame pooling and
+// window compaction in the hardened transport, and the head-indexed
+// delivery queues. scripts/bench.sh records them into BENCH_simcore.json.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// BenchmarkTransportRoundTrip measures one full hardened-transport cycle —
+// send through the (lossless) injector, receiver resequencing, delivery
+// into the queue, blocking receive, and the cumulative ack sliding the
+// sender's window — with allocations reported. Frame pooling and in-place
+// window compaction should hold allocs/op near the floor set by Message
+// copies.
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	net := NewNetwork(2)
+	counters := &metrics.Counters{}
+	net.harden(NetConfig{
+		DisableDetector: true,
+		RTOFloor:        100 * time.Millisecond, // quiet timers at bench speed
+		RTOCap:          time.Second,
+	}, counters, nil, 1)
+	defer net.tr.shutdown()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(Message{Kind: MsgApp, From: 0, To: 1, Seq: i, Value: i})
+		if _, err := net.Recv(0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueuePushPop measures the bare delivery queue cycle used by
+// every message on the legacy reliable fabric (no transport): one push and
+// one blocking pop.
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := newQueue()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.push(Message{Kind: MsgApp, Seq: i})
+		if _, err := q.pop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -36,11 +36,15 @@ type Message struct {
 // incarnation (failure injection).
 var ErrAborted = errors.New("sim: incarnation aborted")
 
-// queue is an unbounded FIFO with blocking receive and abort support.
+// queue is an unbounded FIFO with blocking receive and abort support. The
+// head index makes pop O(1) without reslicing the backing array from the
+// front: a steady-state pop/push cycle reuses one backing array instead of
+// abandoning a slice head to the garbage collector per message.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []Message
+	head   int // items[:head] are consumed
 	closed bool
 	// onDepth, when set, observes the queue depth after every push (the
 	// hardened transport's backlog watermark tap). Called outside q.mu.
@@ -56,7 +60,7 @@ func newQueue() *queue {
 func (q *queue) push(m Message) {
 	q.mu.Lock()
 	q.items = append(q.items, m)
-	depth := len(q.items)
+	depth := len(q.items) - q.head
 	q.mu.Unlock()
 	q.cond.Signal()
 	if q.onDepth != nil {
@@ -64,19 +68,31 @@ func (q *queue) push(m Message) {
 	}
 }
 
+// popHeadLocked consumes the head message. Requires q.mu and a non-empty
+// queue. Once the queue drains, the backing array rewinds for reuse; the
+// consumed slot is zeroed so popped payloads don't pin memory.
+func (q *queue) popHeadLocked() Message {
+	m := q.items[q.head]
+	q.items[q.head] = Message{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return m
+}
+
 // pop blocks until a message is available or the queue is aborted.
 func (q *queue) pop() (Message, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for len(q.items) == q.head && !q.closed {
 		q.cond.Wait()
 	}
 	if q.closed {
 		return Message{}, ErrAborted
 	}
-	m := q.items[0]
-	q.items = q.items[1:]
-	return m, nil
+	return q.popHeadLocked(), nil
 }
 
 // tryPopMarker removes and returns the head only when it is a marker that
@@ -86,10 +102,8 @@ func (q *queue) pop() (Message, error) {
 func (q *queue) tryPopMarker(maxArrive float64) (Message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) > 0 && q.items[0].Kind == MsgMarker && q.items[0].ArriveV <= maxArrive {
-		m := q.items[0]
-		q.items = q.items[1:]
-		return m, true
+	if q.head < len(q.items) && q.items[q.head].Kind == MsgMarker && q.items[q.head].ArriveV <= maxArrive {
+		return q.popHeadLocked(), true
 	}
 	return Message{}, false
 }
@@ -99,12 +113,10 @@ func (q *queue) tryPopMarker(maxArrive float64) (Message, bool) {
 func (q *queue) tryPop(maxArrive float64) (Message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 || q.closed || q.items[0].ArriveV > maxArrive {
+	if q.head == len(q.items) || q.closed || q.items[q.head].ArriveV > maxArrive {
 		return Message{}, false
 	}
-	m := q.items[0]
-	q.items = q.items[1:]
-	return m, true
+	return q.popHeadLocked(), true
 }
 
 func (q *queue) abort() {
@@ -117,7 +129,8 @@ func (q *queue) abort() {
 // reset clears contents and reopens the queue with the given messages.
 func (q *queue) reset(items []Message) {
 	q.mu.Lock()
-	q.items = append([]Message(nil), items...)
+	q.items = append(q.items[:0], items...)
+	q.head = 0
 	q.closed = false
 	q.mu.Unlock()
 }

@@ -206,6 +206,34 @@ type frame struct {
 	attempts  int
 }
 
+// framePool recycles frames between ack and next send. Every message the
+// simulator moves allocates one frame on the hardened path, so under a
+// sweep this is a per-message allocation; pooling cuts it to near zero.
+// Frames are returned only after leaving the unacked window, and all
+// transmission paths work on copied (gen, seq, msg, attempt) values — a
+// recycled frame is never reachable from a timer or a delayed delivery.
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// getFrame takes a zeroed frame from the pool.
+func getFrame(seq int, m Message) *frame {
+	f := framePool.Get().(*frame)
+	f.seq = seq
+	f.msg = m
+	f.attempts = 0
+	return f
+}
+
+// putFrame clears payload references and recycles the frame.
+func putFrame(f *frame) {
+	f.msg = Message{}
+	framePool.Put(f)
+}
+
+// initialWindow is the preallocated capacity of each link's unacked
+// window; steady-state windows under the default chaos profiles stay well
+// below it, so the append path almost never grows the backing array.
+const initialWindow = 32
+
 // link is one directed, sequenced, acknowledged channel (from → to) of one
 // class. Sender state (unacked window, retransmit timer, RTT estimator)
 // and receiver state (resequencing buffer) live on the same struct because
@@ -279,7 +307,8 @@ func (t *transport) newLink(class LinkClass, from, to int, dst *queue) *link {
 		to:      to,
 		dst:     dst,
 		est:     est,
-		pending: make(map[int]Message),
+		unacked: make([]*frame, 0, initialWindow),
+		pending: make(map[int]Message, initialWindow),
 	}
 }
 
@@ -361,10 +390,13 @@ func (lk *link) reset() {
 	lk.mu.Lock()
 	lk.gen++
 	lk.nextSeq = 0
-	lk.unacked = nil
+	for _, f := range lk.unacked {
+		putFrame(f)
+	}
+	lk.unacked = lk.unacked[:0]
 	lk.boShift = 0
 	lk.expect = 0
-	lk.pending = make(map[int]Message)
+	clear(lk.pending)
 	lk.ackSends = 0
 	if lk.timer != nil {
 		lk.timer.Stop()
@@ -376,44 +408,38 @@ func (lk *link) reset() {
 // send enqueues one message for reliable in-order delivery.
 func (lk *link) send(m Message) {
 	lk.mu.Lock()
-	f := &frame{seq: lk.nextSeq, msg: m}
+	seq := lk.nextSeq
 	lk.nextSeq++
+	f := getFrame(seq, m)
+	f.attempts = 1
+	f.firstSend = time.Now()
 	lk.unacked = append(lk.unacked, f)
 	gen := lk.gen
 	if lk.timer == nil {
 		lk.armLocked(gen)
 	}
 	lk.mu.Unlock()
-	lk.transmit(f, gen)
+	lk.transmit(gen, seq, m, 0)
 }
 
-// transmit pushes one attempt of a frame through the fault injector.
-func (lk *link) transmit(f *frame, gen int) {
-	lk.mu.Lock()
-	if gen != lk.gen {
-		lk.mu.Unlock()
-		return
-	}
-	attempt := f.attempts
-	f.attempts++
-	if attempt == 0 {
-		f.firstSend = time.Now()
-	}
-	seq, m := f.seq, f.msg
-	lk.mu.Unlock()
-
+// transmit pushes one attempt of a frame through the fault injector. It
+// takes the frame's fields by value, never the frame itself: by the time a
+// delayed delivery or retransmission runs, the frame may have been acked
+// and recycled.
+func (lk *link) transmit(gen, seq int, m Message, attempt int) {
 	v := lk.t.verdict(lk.class, lk.from, lk.to, seq, attempt)
 	if v.Drop {
 		return
 	}
-	deliver := func() { lk.deliver(gen, seq, m) }
+	// The fast path (no delay, no dup) calls deliver directly: a closure
+	// here would allocate once per message on lossless links.
 	if v.Delay > 0 {
-		time.AfterFunc(v.Delay, deliver)
+		time.AfterFunc(v.Delay, func() { lk.deliver(gen, seq, m) })
 	} else {
-		deliver()
+		lk.deliver(gen, seq, m)
 	}
 	if v.Duplicate {
-		deliver()
+		lk.deliver(gen, seq, m)
 	}
 }
 
@@ -472,14 +498,13 @@ func (lk *link) sendAck(gen int) {
 	if v.Drop {
 		return
 	}
-	arrive := func() { lk.ackArrive(gen, cum) }
 	if v.Delay > 0 {
-		time.AfterFunc(v.Delay, arrive)
+		time.AfterFunc(v.Delay, func() { lk.ackArrive(gen, cum) })
 	} else {
-		arrive()
+		lk.ackArrive(gen, cum)
 	}
 	if v.Duplicate {
-		arrive()
+		lk.ackArrive(gen, cum)
 	}
 }
 
@@ -494,16 +519,27 @@ func (lk *link) ackArrive(gen, cum int) {
 		return
 	}
 	lk.t.heard(lk.to, lk.from)
-	progress := false
-	for len(lk.unacked) > 0 && lk.unacked[0].seq <= cum {
-		f := lk.unacked[0]
-		lk.unacked = lk.unacked[1:]
-		progress = true
+	// Slide the window in place: compacting the preallocated backing array
+	// (instead of reslicing its head away) keeps the capacity for the life
+	// of the link, and the acked frames go back to the pool.
+	acked := 0
+	for acked < len(lk.unacked) && lk.unacked[acked].seq <= cum {
+		f := lk.unacked[acked]
+		acked++
 		if f.attempts == 1 {
 			lk.est.Observe(now.Sub(f.firstSend))
 		} else {
 			lk.est.ObserveAmbiguous() // Karn: retransmitted exchange, no sample
 		}
+		putFrame(f)
+	}
+	progress := acked > 0
+	if progress {
+		n := copy(lk.unacked, lk.unacked[acked:])
+		for i := n; i < len(lk.unacked); i++ {
+			lk.unacked[i] = nil
+		}
+		lk.unacked = lk.unacked[:n]
 	}
 	if progress {
 		lk.boShift = 0
@@ -555,8 +591,11 @@ func (lk *link) onTimeout(gen int) {
 	if lk.boShift < maxBackoffShift {
 		lk.boShift++
 	}
+	// Copy the head frame's fields under the lock: once released, an ack
+	// may recycle the frame, so the retransmission must not touch it.
 	f := lk.unacked[0]
-	seq, attempts := f.seq, f.attempts
+	seq, m, attempt := f.seq, f.msg, f.attempts
+	f.attempts++
 	lk.armLocked(gen)
 	lk.mu.Unlock()
 
@@ -564,10 +603,10 @@ func (lk *link) onTimeout(gen int) {
 	if lk.t.obsv != nil {
 		lk.t.obsv.OnEvent(obs.Event{
 			Kind: obs.KindRetry, Proc: lk.from, Inc: -1, Tag: "retransmit",
-			Label: fmt.Sprintf("%s %d->%d seq=%d attempt=%d", lk.class, lk.from, lk.to, seq, attempts),
+			Label: fmt.Sprintf("%s %d->%d seq=%d attempt=%d", lk.class, lk.from, lk.to, seq, attempt),
 		})
 	}
-	lk.transmit(f, gen)
+	lk.transmit(gen, seq, m, attempt)
 }
 
 // heard records that process `to` received evidence that `from` is alive

@@ -12,9 +12,11 @@ package repro_test
 // overrides the per-profile seed count (CI uses a smaller matrix).
 
 import (
+	"fmt"
 	"os"
 	"reflect"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -110,48 +112,64 @@ func TestNetChaosSoak(t *testing.T) {
 	for _, prof := range profiles {
 		prof := prof
 		t.Run(prof.name, func(t *testing.T) {
+			var mu sync.Mutex
 			totals := map[string]int64{}
 			kinds := map[obs.Kind]int{}
 			var totalRestarts int64
-			for seed := int64(1); seed <= int64(seeds); seed++ {
-				rec := obs.NewRecorder()
-				inj := chaos.NewNetwork(seed, prof.rates, prof.parts, rec)
-				netCfg := &sim.NetConfig{
-					Chaos:          inj,
-					HeartbeatEvery: 2 * time.Millisecond,
-					RTOFloor:       time.Millisecond,
-					RTOCap:         50 * time.Millisecond,
-					// Loss profiles are transient: never suspect. The
-					// partition profile must suspect quickly so unhealed
-					// silence converts to recovery instead of a deadlock.
-					SuspectAfter: 2 * time.Second,
+			// Per-seed runs are independent: every link verdict is hashed
+			// from (seed, class, from, to, seq, attempt), so interleaving
+			// them is safe and each seed's convergence check against the
+			// serial clean run asserts the outcome is unchanged. The group
+			// subtest joins all parallel seeds before the fleet assertions.
+			t.Run("seeds", func(t *testing.T) {
+				for seed := int64(1); seed <= int64(seeds); seed++ {
+					t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+						t.Parallel()
+						rec := obs.NewRecorder()
+						inj := chaos.NewNetwork(seed, prof.rates, prof.parts, rec)
+						netCfg := &sim.NetConfig{
+							Chaos:          inj,
+							HeartbeatEvery: 2 * time.Millisecond,
+							RTOFloor:       time.Millisecond,
+							RTOCap:         50 * time.Millisecond,
+							// Loss profiles are transient: never suspect. The
+							// partition profile must suspect quickly so unhealed
+							// silence converts to recovery instead of a deadlock.
+							SuspectAfter: 2 * time.Second,
+						}
+						if len(prof.parts) > 0 {
+							netCfg.SuspectAfter = 30 * time.Millisecond
+						}
+						res, err := sim.Run(sim.Config{
+							Program:     prog,
+							Nproc:       n,
+							Net:         netCfg,
+							Observer:    rec,
+							Jitter:      seed,
+							MaxRestarts: 40,
+							Timeout:     20 * time.Second,
+						})
+						if err != nil {
+							t.Fatalf("seed %d: %v", seed, err)
+						}
+						if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+							t.Fatalf("seed %d: diverged under %s chaos\nclean: %v\nchaos: %v",
+								seed, prof.name, clean.FinalVars, res.FinalVars)
+						}
+						mu.Lock()
+						for name, v := range res.Metrics.Custom {
+							totals[name] += v
+						}
+						totalRestarts += int64(res.Restarts)
+						for _, e := range rec.Events() {
+							kinds[e.Kind]++
+						}
+						mu.Unlock()
+					})
 				}
-				if len(prof.parts) > 0 {
-					netCfg.SuspectAfter = 30 * time.Millisecond
-				}
-				res, err := sim.Run(sim.Config{
-					Program:     prog,
-					Nproc:       n,
-					Net:         netCfg,
-					Observer:    rec,
-					Jitter:      seed,
-					MaxRestarts: 40,
-					Timeout:     20 * time.Second,
-				})
-				if err != nil {
-					t.Fatalf("seed %d: %v", seed, err)
-				}
-				if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
-					t.Fatalf("seed %d: diverged under %s chaos\nclean: %v\nchaos: %v",
-						seed, prof.name, clean.FinalVars, res.FinalVars)
-				}
-				for name, v := range res.Metrics.Custom {
-					totals[name] += v
-				}
-				totalRestarts += int64(res.Restarts)
-				for _, e := range rec.Events() {
-					kinds[e.Kind]++
-				}
+			})
+			if t.Failed() {
+				return
 			}
 			if !checkFleet {
 				return

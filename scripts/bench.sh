@@ -1,0 +1,48 @@
+#!/bin/sh
+# Benchmark harness: runs the repo's benchmark suite with -benchmem and
+# records machine-readable results, the perf trajectory later PRs measure
+# themselves against:
+#
+#   BENCH_sweeps.json   — the compute sweeps: Monte Carlo (per worker
+#                         count), the Figure 8/9 analytic series, the
+#                         absorbing-chain solver;
+#   BENCH_simcore.json  — the simulator hot paths: transport round trip,
+#                         delivery queue, counters contention, transform
+#                         pipeline, end-to-end failure/recovery runs.
+#
+# BENCHTIME overrides -benchtime (default 1x: one measured iteration, the
+# smoke setting CI uses; use e.g. BENCHTIME=2s locally for stable numbers).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+
+echo ">> building benchjson"
+go build -o /tmp/benchjson.$$ ./cmd/benchjson
+trap 'rm -f /tmp/benchjson.$$ /tmp/bench_out.$$' EXIT
+
+run_set() {
+    name="$1" pattern="$2" out="$3"
+    shift 3
+    echo ">> bench set $name (-bench '$pattern' -benchtime $BENCHTIME)"
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$BENCHTIME" "$@" \
+        | tee /tmp/bench_out.$$
+    /tmp/benchjson.$$ -o "$out" < /tmp/bench_out.$$
+    echo ">> wrote $out"
+}
+
+# Sweep engine: sharded Monte Carlo across worker counts, analytic figure
+# sweeps, chain solver.
+run_set sweeps \
+    'BenchmarkSimulateGamma|BenchmarkFigure|BenchmarkGamma|BenchmarkMonteCarloValidation' \
+    BENCH_sweeps.json \
+    ./internal/montecarlo/ ./internal/markov/ .
+
+# Simulator core: per-message hot paths and end-to-end runs.
+run_set simcore \
+    'BenchmarkTransportRoundTrip|BenchmarkQueuePushPop|BenchmarkCountersInc|BenchmarkTransformPipeline|BenchmarkRuntimeFailureRecovery|BenchmarkMessagesPerCheckpoint' \
+    BENCH_simcore.json \
+    ./internal/sim/ ./internal/metrics/ .
+
+echo 'bench OK'

@@ -28,4 +28,11 @@ go test -race -run 'TestChaosSoak' -count=1 .
 echo '>> network chaos soak (go test -race -run TestNetChaosSoak -count=1 .)'
 go test -race -run 'TestNetChaosSoak' -count=1 .
 
+# Opt-in: the benchmark harness is slow relative to the rest of the check
+# and its numbers are machine-dependent, so it only runs when asked for.
+if [ "${CHECK_BENCH:-0}" = "1" ]; then
+    echo '>> bench harness (CHECK_BENCH=1)'
+    ./scripts/bench.sh
+fi
+
 echo 'OK'
