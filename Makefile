@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt bench chaos netchaos
+.PHONY: all build vet test race check fmt bench chaos netchaos verify fuzz
 
 all: check
 
@@ -28,6 +28,21 @@ fmt:
 # overrides -benchtime (default 1x: smoke; use e.g. 2s for stable numbers).
 bench:
 	BENCHTIME=$(BENCHTIME) ./scripts/bench.sh
+
+# verify runs the generative correctness harness: 100 random programs
+# through the full pipeline, systematic schedule exploration, theorem
+# checking on every execution, and the mutation (no-vacuous-pass) mode.
+# VERIFY_FLAGS overrides the defaults, e.g. VERIFY_FLAGS='-progs 500 -v'.
+verify:
+	$(GO) run ./cmd/chkptverify $(or $(VERIFY_FLAGS),-progs 100 -depth 8 -mutate)
+
+# fuzz runs every native fuzz target for FUZZTIME (default 30s) each.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzMPLParse -fuzztime $(FUZZTIME) ./internal/mpl
+	$(GO) test -fuzz FuzzEval -fuzztime $(FUZZTIME) ./internal/mpl
+	$(GO) test -fuzz FuzzCFGBuild -fuzztime $(FUZZTIME) ./internal/cfg
+	$(GO) test -fuzz FuzzStraightCutTheorem -fuzztime $(FUZZTIME) ./internal/verify
 
 # chaos runs the fault-injection soak: fixed seeds, all store kinds,
 # storage faults + generated crash schedules, under the race detector.

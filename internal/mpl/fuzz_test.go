@@ -5,11 +5,11 @@ import (
 	"testing"
 )
 
-// FuzzParse checks the parser's crash-freedom and, when parsing succeeds,
+// FuzzMPLParse checks the parser's crash-freedom and, when parsing succeeds,
 // the print/reparse fixpoint: Format(Parse(x)) must itself parse to a
-// program that formats identically. Run with `go test -fuzz FuzzParse`;
+// program that formats identically. Run with `go test -fuzz FuzzMPLParse`;
 // the seed corpus runs under plain `go test`.
-func FuzzParse(f *testing.F) {
+func FuzzMPLParse(f *testing.F) {
 	seeds := []string{
 		"",
 		"program p\nproc { }",

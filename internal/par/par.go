@@ -108,8 +108,13 @@ func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx conte
 				if i >= len(items) {
 					return
 				}
-				if err := cctx.Err(); err != nil {
-					fail(i, err)
+				if cctx.Err() != nil {
+					// Cancelled before f(i) ever ran: this is not "the
+					// failing invocation with the lowest index", so do not
+					// record it — either a real f error is already recorded,
+					// or the parent cancelled and wg.Wait's fallback below
+					// reports that. Recording i here would let a cancellation
+					// ripple overwrite the true failure with a lower index.
 					return
 				}
 				r, err := f(cctx, i, items[i])
@@ -124,6 +129,11 @@ func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx conte
 	wg.Wait()
 	if firstE != nil {
 		return nil, firstE
+	}
+	// No f invocation failed, but the parent context may have cancelled
+	// the sweep before every item ran.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

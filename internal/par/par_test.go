@@ -133,6 +133,112 @@ func TestMapBoundsConcurrency(t *testing.T) {
 	}
 }
 
+func TestMapMoreWorkersThanItems(t *testing.T) {
+	// The pool clamps to the item count: asking for 64 workers over 3
+	// items must not leak idle goroutines or run anything twice.
+	items := []int{10, 20, 30}
+	var calls atomic.Int64
+	got, err := Map(context.Background(), 64, items, func(_ context.Context, i, v int) (int, error) {
+		calls.Add(1)
+		return v + i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{10, 21, 32}; !equalInts(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("f ran %d times, want 3", n)
+	}
+}
+
+func TestMapSingleItem(t *testing.T) {
+	for _, workers := range []int{0, 1, 8} {
+		got, err := Map(context.Background(), workers, []string{"x"}, func(_ context.Context, i int, s string) (string, error) {
+			return s + "!", nil
+		})
+		if err != nil || len(got) != 1 || got[0] != "x!" {
+			t.Fatalf("workers=%d: got %v, %v", workers, got, err)
+		}
+	}
+}
+
+func TestMapZeroItemsNonNil(t *testing.T) {
+	got, err := Map(context.Background(), 4, []int{}, func(_ context.Context, i, v int) (int, error) {
+		t.Error("f called on zero items")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(empty) = %v, %v", got, err)
+	}
+}
+
+func TestMapCancelMidMap(t *testing.T) {
+	// Cancel the parent context while workers sit inside f: Map must
+	// return (no goroutine leak past wg.Wait) with the cancellation error,
+	// and items after the cancellation point must not start.
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 4, make([]int, 1000), func(ctx context.Context, i, _ int) (int, error) {
+			started.Add(1)
+			select {
+			case <-release:
+				return 0, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		})
+		done <- err
+	}()
+	for started.Load() < 4 {
+		runtime.Gosched()
+	}
+	cancel()
+	err := <-done
+	close(release)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("all %d items started despite mid-map cancellation", n)
+	}
+}
+
+func TestMapErrorIndexStableUnderContention(t *testing.T) {
+	// Many failing items racing across workers: the reported error must
+	// come from the lowest failing index every time, independent of which
+	// worker fails first (run under -race in CI via make check).
+	items := make([]int, 300)
+	for round := 0; round < 25; round++ {
+		_, err := Map(context.Background(), 8, items, func(_ context.Context, i, _ int) (int, error) {
+			if i >= 17 {
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			runtime.Gosched()
+			return 0, nil
+		})
+		if err == nil || err.Error() != "boom at 17" {
+			t.Fatalf("round %d: err = %v, want boom at 17", round, err)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestForEach(t *testing.T) {
 	var sum atomic.Int64
 	items := []int{1, 2, 3, 4, 5}

@@ -143,9 +143,13 @@ func analyze(p *mpl.Program, opts Options) (*analysis, error) {
 		nodes := a.byIndex[i]
 		for _, from := range nodes {
 			for _, to := range nodes {
-				if from == to {
-					continue
-				}
+				// from == to is NOT skipped: a single checkpoint statement
+				// shared by all ranks can causally reach itself through a
+				// message round-trip (e.g. rank 1's instance sends a reply
+				// consumed before rank 0's instance of the same statement),
+				// which violates Condition 1 exactly like a two-statement
+				// pair. FindCausalPath demands at least one message edge, so
+				// the trivial empty path never matches.
 				path := ext.FindCausalPath(from, to)
 				if path == nil {
 					continue

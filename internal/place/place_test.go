@@ -270,6 +270,77 @@ func TestOrderingsDeduped(t *testing.T) {
 	}
 }
 
+// TestSelfPairViolationRepaired pins the from == to case of the
+// Condition-1 scan: a single checkpoint statement shared by all ranks is
+// violated AGAINST ITSELF when rank-guarded communication gives its node a
+// message-bearing causal path back to the same node — here rank 1's
+// instance forwards a reply that rank 0 consumes before reaching its own
+// instance of the very same statement, all within one control-flow pass
+// (no back edge). The generative harness found this shape escaping an
+// analyzer that skipped self-pairs.
+func TestSelfPairViolationRepaired(t *testing.T) {
+	b := mpl.NewBuilder("selfpair")
+	b.Vars("a", "tmp")
+	b.Assign("a", mpl.Add(mpl.Rank(), mpl.Int(1)))
+	b.If(mpl.Eq(mpl.Rank(), mpl.Int(0)), func(b *mpl.Builder) {
+		b.Send(mpl.Int(1), "a")
+		b.Recv(mpl.Int(1), "tmp")
+	})
+	b.Chkpt()
+	b.If(mpl.Eq(mpl.Rank(), mpl.Int(1)), func(b *mpl.Builder) {
+		b.Recv(mpl.Int(0), "tmp")
+		b.Send(mpl.Int(0), "tmp")
+	})
+	p := b.MustProgram()
+
+	res := ensure(t, p, DefaultOptions)
+	if len(res.InitialViolations) == 0 {
+		t.Fatal("self-pair Condition-1 violation not detected")
+	}
+	v := res.InitialViolations[0]
+	if v.FromStmt != v.ToStmt {
+		t.Errorf("want a self-pair violation (FromStmt == ToStmt), got %+v", v)
+	}
+	if len(res.Moves) == 0 {
+		t.Fatal("violating checkpoint was not moved")
+	}
+	assertSafe(t, res.Program, DefaultOptions)
+}
+
+// TestSelfPairLoopOrdering is the PreserveLoops counterpart: when the only
+// causal self-path crosses a loop back edge (plain ring shift), the
+// checkpoint stays put and the pair is recorded as a cross-iteration
+// ordering of the statement with itself.
+func TestSelfPairLoopOrdering(t *testing.T) {
+	b := mpl.NewBuilder("selfloop")
+	b.Vars("a", "tmp", "j")
+	b.Assign("a", mpl.Add(mpl.Rank(), mpl.Int(1)))
+	b.Assign("j", mpl.Int(0))
+	b.While(mpl.Lt(mpl.V("j"), mpl.Int(2)), func(b *mpl.Builder) {
+		b.Chkpt()
+		b.Send(mpl.Mod(mpl.Add(mpl.Rank(), mpl.Int(1)), mpl.Nproc()), "a")
+		b.Recv(mpl.Mod(mpl.Sub(mpl.Rank(), mpl.Int(1)), mpl.Nproc()), "tmp")
+		b.Assign("a", mpl.Add(mpl.V("a"), mpl.V("tmp")))
+		b.Assign("j", mpl.Add(mpl.V("j"), mpl.Int(1)))
+	})
+	p := b.MustProgram()
+
+	res := ensure(t, p, DefaultOptions)
+	if len(res.Moves) != 0 {
+		t.Errorf("loop-only self-causality must not move checkpoints: %+v", res.Moves)
+	}
+	found := false
+	for _, o := range res.Orderings {
+		if o.EarlierStmt == o.LaterStmt {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no self-ordering recorded; orderings: %+v", res.Orderings)
+	}
+	assertSafe(t, res.Program, DefaultOptions)
+}
+
 func BenchmarkEnsureJacobiFig2(b *testing.B) {
 	p := corpus.JacobiFig2(3)
 	b.ReportAllocs()

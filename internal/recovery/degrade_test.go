@@ -111,6 +111,94 @@ func TestStraightCutCleanStoreReportsNoDegradation(t *testing.T) {
 	}
 }
 
+// TestDegradationLadder pins the whole ladder on one fixed store: each
+// rung corrupts strictly more than the one above it and must land exactly
+// where the rung says — same chosen (index, instance), same Degraded
+// count — down to the restart-from-initial-state floor. The store holds
+// two indexes × two instances per process; the best cut is (2, #1).
+func TestDegradationLadder(t *testing.T) {
+	type target struct{ proc, index, instance int }
+	rungs := []struct {
+		name         string
+		bad          []target
+		wantIndex    int // chosen CFG index (when a line exists)
+		wantInstance int
+		wantDegraded int
+		wantErr      error // non-nil: the rung is the ladder's floor
+	}{
+		{
+			name:         "best-cut",
+			wantIndex:    2,
+			wantInstance: 1,
+			wantDegraded: 0,
+		},
+		{
+			name:         "older-instance",
+			bad:          []target{{0, 2, 1}},
+			wantIndex:    2,
+			wantInstance: 0,
+			wantDegraded: 1, // skipped: (2, #1)
+		},
+		{
+			name: "older-index",
+			bad:  []target{{0, 2, 1}, {1, 2, 0}},
+			// Index 2 lost instance 1 on proc 0 and instance 0 on proc 1:
+			// its frontier min(#0, #1) = #0 probes (2, #0) which is also
+			// incomplete, then (2, #-1) ends the index; R_1 remains whole.
+			wantIndex:    1,
+			wantInstance: 1,
+			wantDegraded: 2, // skipped: (2, #1) on proc 0's side, then (2, #0)
+		},
+		{
+			name: "initial-state",
+			bad: []target{
+				{0, 1, 0}, {0, 1, 1}, {0, 2, 0}, {0, 2, 1},
+			},
+			wantErr: ErrNoRecoveryLine,
+		},
+	}
+	for _, rung := range rungs {
+		t.Run(rung.name, func(t *testing.T) {
+			st := &corruptStore{Store: storage.NewMemory()}
+			for p := 0; p < 2; p++ {
+				q := 1 - p
+				for idx := 1; idx <= 2; idx++ {
+					for inst := 0; inst <= 1; inst++ {
+						// Concurrent clocks that grow with (index, instance)
+						// so deeper cuts always score higher.
+						clk := vclock.VC{0, 0}
+						clk[p] = uint64(10*idx + 5*inst + 2)
+						clk[q] = uint64(10*idx + 5*inst + 1)
+						save(t, st, p, idx, inst, clk)
+					}
+				}
+			}
+			for _, b := range rung.bad {
+				st.markBad(b.proc, b.index, b.instance)
+			}
+			line, err := StraightCut(st, 2)
+			if rung.wantErr != nil {
+				if !errors.Is(err, rung.wantErr) {
+					t.Fatalf("err = %v, want %v", err, rung.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, s := range line.Snapshots {
+				if s.CFGIndex != rung.wantIndex || s.Instance != rung.wantInstance {
+					t.Errorf("proc %d restored (index %d, instance %d), want (%d, %d)",
+						p, s.CFGIndex, s.Instance, rung.wantIndex, rung.wantInstance)
+				}
+			}
+			if line.Degraded != rung.wantDegraded {
+				t.Errorf("Degraded = %d, want %d", line.Degraded, rung.wantDegraded)
+			}
+		})
+	}
+}
+
 // TestStraightCutFallsBackOverCorruptDeltaChain is the end-to-end
 // incremental-store corruption case: a rotted delta-chain base must
 // surface storage.ErrCorrupt (never a bogus reconstruction) and recovery

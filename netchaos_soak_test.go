@@ -8,8 +8,10 @@ package repro_test
 // retransmitted, duplicates suppressed, reorders resequenced, partitions
 // suspected and healed, with matching observability events.
 //
-// Skipped under -short; `make netchaos` runs it with -race. SOAK_SEEDS
-// overrides the per-profile seed count (CI uses a smaller matrix).
+// Under -short the per-profile seed matrix shrinks (which also sidesteps
+// the fleet-wide coverage assertions) instead of skipping outright; `make
+// netchaos` runs the full matrix with -race. SOAK_SEEDS overrides the
+// per-profile seed count (CI uses a smaller matrix).
 
 import (
 	"fmt"
@@ -57,8 +59,12 @@ func fleetAssertions(t *testing.T, seeds, def int) bool {
 }
 
 func TestNetChaosSoak(t *testing.T) {
+	// -short trims the per-profile matrix to two seeds rather than
+	// skipping; convergence is still checked per seed, and fleetAssertions
+	// sees the shrunken count and skips only the fleet-wide coverage bars.
+	defSeeds := 6
 	if testing.Short() {
-		t.Skip("network chaos soak skipped in -short")
+		defSeeds = 2
 	}
 	rep, err := core.Transform(corpus.JacobiFig2(3), core.DefaultConfig)
 	if err != nil {
@@ -107,7 +113,7 @@ func TestNetChaosSoak(t *testing.T) {
 		},
 	}
 
-	seeds := soakSeeds(t, 6)
+	seeds := soakSeeds(t, defSeeds)
 	checkFleet := fleetAssertions(t, seeds, 6)
 	for _, prof := range profiles {
 		prof := prof

@@ -22,6 +22,9 @@ go build ./...
 echo '>> go test -race ./...'
 go test -race ./...
 
+echo '>> straight-cut theorem harness (make verify)'
+make verify
+
 echo '>> chaos soak (go test -race -run TestChaosSoak -count=1 .)'
 go test -race -run 'TestChaosSoak' -count=1 .
 

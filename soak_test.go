@@ -2,7 +2,7 @@ package repro_test
 
 // Soak coverage: the paper's safety theorem exercised across random
 // programs, process counts, schedules, and crash points simultaneously.
-// Skipped under -short; bounded to keep the default suite fast.
+// -short runs a trimmed matrix; bounded to keep the default suite fast.
 
 import (
 	"reflect"
@@ -18,20 +18,24 @@ import (
 )
 
 func TestSoakTransformedRandomPrograms(t *testing.T) {
+	// -short trims the matrix rather than skipping: a handful of seeds at
+	// two process counts still walks the whole transform-run-check-crash
+	// path, so a quick `go test -short` cannot silently rot it.
+	lastSeed, budget, nprocs := int64(140), 45*time.Second, []int{2, 4, 7}
 	if testing.Short() {
-		t.Skip("soak skipped in -short")
+		lastSeed, budget, nprocs = 104, 10*time.Second, []int{2, 4}
 	}
 	input := func(rank, i int) int { return 3*rank + i }
-	deadline := time.Now().Add(45 * time.Second)
+	deadline := time.Now().Add(budget)
 	seeds := 0
-	for seed := int64(100); seed < 140 && time.Now().Before(deadline); seed++ {
+	for seed := int64(100); seed < lastSeed && time.Now().Before(deadline); seed++ {
 		seeds++
 		prog := corpus.Random(seed)
 		rep, err := core.Transform(prog, core.DefaultConfig)
 		if err != nil {
 			t.Fatalf("seed %d: transform: %v\n%s", seed, err, mpl.Format(prog))
 		}
-		for _, n := range []int{2, 4, 7} {
+		for _, n := range nprocs {
 			// Clean run under a seeded schedule perturbation.
 			clean, err := sim.Run(sim.Config{
 				Program: rep.Program, Nproc: n, Input: input,
