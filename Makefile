@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt bench chaos netchaos verify fuzz
+.PHONY: all build vet test race check fmt bench chaos netchaos verify fuzz telemetry
 
 all: check
 
@@ -43,6 +43,11 @@ fuzz:
 	$(GO) test -fuzz FuzzEval -fuzztime $(FUZZTIME) ./internal/mpl
 	$(GO) test -fuzz FuzzCFGBuild -fuzztime $(FUZZTIME) ./internal/cfg
 	$(GO) test -fuzz FuzzStraightCutTheorem -fuzztime $(FUZZTIME) ./internal/verify
+
+# telemetry runs the live-telemetry smoke: chkptsim serving /metrics on an
+# ephemeral port, scraped end-to-end by cmd/telemetryprobe.
+telemetry:
+	./scripts/telemetry_smoke.sh
 
 # chaos runs the fault-injection soak: fixed seeds, all store kinds,
 # storage faults + generated crash schedules, under the race detector.

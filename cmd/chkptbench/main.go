@@ -36,6 +36,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/recovery"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/zigzag"
 )
 
@@ -47,15 +48,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("chkptbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		figure = fs.String("figure", "8", `which artifact: "8", "9", "validate", "messages", "domino", "runtime"`)
-		n      = fs.Int("n", 64, "process count for figure 9")
-		trials = fs.Int("trials", 100000, "Monte Carlo trials for validate")
-		lambda = fs.Float64("lambda1", markov.PaperBaseline.Lambda1, "per-process failure rate")
-		wm     = fs.Float64("wm", markov.PaperBaseline.WM, "message setup time w_m (seconds)")
-		work   = fs.Int("work", 300000, "runtime figure: work units per iteration (1 virtual ms each; 300000 ≈ the paper's T=300s interval)")
-		wrk    = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers (1 = serial; output is identical either way)")
-		cpuPro = fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark to this file")
-		memPro = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		figure  = fs.String("figure", "8", `which artifact: "8", "9", "validate", "messages", "domino", "runtime"`)
+		n       = fs.Int("n", 64, "process count for figure 9")
+		trials  = fs.Int("trials", 100000, "Monte Carlo trials for validate")
+		lambda  = fs.Float64("lambda1", markov.PaperBaseline.Lambda1, "per-process failure rate")
+		wm      = fs.Float64("wm", markov.PaperBaseline.WM, "message setup time w_m (seconds)")
+		work    = fs.Int("work", 300000, "runtime figure: work units per iteration (1 virtual ms each; 300000 ≈ the paper's T=300s interval)")
+		wrk     = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers (1 = serial; output is identical either way)")
+		cpuPro  = fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark to this file")
+		memPro  = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		telAddr = fs.String("telemetry-addr", "", "serve live telemetry for the runtime figures on this address (/metrics, /snapshot.json, /healthz); e.g. 127.0.0.1:9464")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -102,6 +104,25 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 2
 	}
 
+	// Live telemetry across the runtime figures: one aggregator taps every
+	// measurement run (the sweep's runs share it — rates and sketches are
+	// fleet-wide, which is exactly what a mid-sweep scrape wants). The
+	// analytic figures spawn no runtime, so their scrapes show zero events.
+	var observer obs.Observer
+	if *telAddr != "" {
+		agg := telemetry.New(telemetry.Config{Nproc: 64})
+		stopTick := agg.Start()
+		defer stopTick()
+		srv, err := telemetry.NewServer(*telAddr, agg)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptbench:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "chkptbench: telemetry at %s/metrics\n", srv.URL())
+		observer = agg
+	}
+
 	switch *figure {
 	case "8":
 		pts, err := markov.Figure8Workers(b, markov.DefaultFigure8Ns(), *wrk)
@@ -138,11 +159,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				row.Protocol, row.N, row.Analytic, row.Simulated)
 		}
 	case "messages":
-		return runMessages(stdout, stderr, *wrk)
+		return runMessages(stdout, stderr, *wrk, observer)
 	case "domino":
-		return runDomino(stdout, stderr, *wrk)
+		return runDomino(stdout, stderr, *wrk, observer)
 	case "runtime":
-		return runEmpirical(stdout, stderr, *work, *wrk)
+		return runEmpirical(stdout, stderr, *work, *wrk, observer)
 	default:
 		fmt.Fprintf(stderr, "chkptbench: unknown figure %q\n", *figure)
 		return 2
@@ -174,21 +195,21 @@ func sweep[T any](stdout, stderr io.Writer, workers int, items []T, f func(item 
 // per-scale measurements are independent full runs, so they sweep in
 // parallel; each run's processes are already goroutines, so worker counts
 // here multiply goroutines, not correctness concerns.
-func runMessages(stdout, stderr io.Writer, workers int) int {
+func runMessages(stdout, stderr io.Writer, workers int, o obs.Observer) int {
 	const iters = 2
 	fmt.Fprintln(stdout, "# measured control messages per checkpoint round vs the paper's formulas")
 	fmt.Fprintln(stdout, "# n  appl  sas(meas)  sas=5(n-1)  cl(meas)  cl markers=n(n-1)")
 	return sweep(stdout, stderr, workers, []int{2, 4, 8, 12}, func(n int) (string, error) {
 		prog := corpus.JacobiFig1(iters)
-		appl, err := sim.Run(sim.Config{Program: prog, Nproc: n, DisableTrace: true})
+		appl, err := sim.Run(sim.Config{Program: prog, Nproc: n, DisableTrace: true, Observer: o})
 		if err != nil {
 			return "", err
 		}
-		sas, err := sim.Run(sim.Config{Program: prog, Nproc: n, Hooks: protocol.SaS(0), DisableTrace: true})
+		sas, err := sim.Run(sim.Config{Program: prog, Nproc: n, Hooks: protocol.SaS(0), DisableTrace: true, Observer: o})
 		if err != nil {
 			return "", err
 		}
-		cl, err := sim.Run(sim.Config{Program: prog, Nproc: n, Hooks: protocol.CL(0, protocol.NewCLCollector()), DisableTrace: true})
+		cl, err := sim.Run(sim.Config{Program: prog, Nproc: n, Hooks: protocol.CL(0, protocol.NewCLCollector()), DisableTrace: true, Observer: o})
 		if err != nil {
 			return "", err
 		}
@@ -206,7 +227,7 @@ func runMessages(stdout, stderr io.Writer, workers int) int {
 // is the runtime counterpart of the analytic Figure 8 — coordination costs
 // (barrier stalls, marker floods) surface as measured time rather than as
 // a formula.
-func runEmpirical(stdout, stderr io.Writer, workUnits, workers int) int {
+func runEmpirical(stdout, stderr io.Writer, workUnits, workers int, o obs.Observer) int {
 	const iters = 4
 	tm := sim.PaperTimeModel
 	// Per-iteration computation defaults to T ≈ 300 s (the paper's
@@ -222,6 +243,7 @@ func runEmpirical(stdout, stderr io.Writer, workUnits, workers int) int {
 		measure := func(p *mpl.Program, hooks sim.HooksFactory) (*sim.Result, error) {
 			return sim.Run(sim.Config{
 				Program: p, Nproc: n, Hooks: hooks, Time: &tm, DisableTrace: true,
+				Observer: o,
 			})
 		}
 		base, err := measure(bare, nil)
@@ -255,7 +277,9 @@ func runEmpirical(stdout, stderr io.Writer, workUnits, workers int) int {
 	})
 }
 
-// printHist emits one protocol's distribution as a plot-safe comment line.
+// printHist emits one protocol's distribution as a plot-safe comment line,
+// followed by a one-line percentile summary interpolated from the same
+// buckets via the sketch CDF (the numbers a live scrape would show).
 func printHist(w io.Writer, n int, proto, name string, m metrics.Snapshot) {
 	h, ok := m.Hists[name]
 	if !ok || h.Count == 0 {
@@ -263,6 +287,9 @@ func printHist(w io.Writer, n int, proto, name string, m metrics.Snapshot) {
 		return
 	}
 	fmt.Fprintf(w, "# hist n=%d %s %s %s\n", n, proto, name, h)
+	sk := metrics.SketchFromHist(h)
+	fmt.Fprintf(w, "# pXX n=%d %s %s p50=%.6g p95=%.6g p99=%.6g\n",
+		n, proto, name, sk.Quantile(0.50), sk.Quantile(0.95), sk.Quantile(0.99))
 }
 
 // jacobiWithWork is the Figure 1 Jacobi exchange with a heavy per-iteration
@@ -312,7 +339,7 @@ func stripChkpts(p *mpl.Program) {
 // runDomino contrasts the application-driven scheme with uncoordinated
 // checkpointing on random workloads: useless checkpoints (Z-cycle
 // analysis) and rollback steps needed at recovery.
-func runDomino(stdout, stderr io.Writer, workers int) int {
+func runDomino(stdout, stderr io.Writer, workers int, o obs.Observer) int {
 	const n = 4
 	input := func(rank, i int) int { return rank ^ i }
 	fmt.Fprintln(stdout, "# useless checkpoints and recovery rollback distance, random workloads (n=4)")
@@ -336,7 +363,7 @@ func runDomino(stdout, stderr io.Writer, workers int) int {
 		if err != nil {
 			return "", err
 		}
-		applRes, err := sim.Run(sim.Config{Program: rep.Program, Nproc: n, Input: input})
+		applRes, err := sim.Run(sim.Config{Program: rep.Program, Nproc: n, Input: input, Observer: o})
 		if err != nil {
 			return "", err
 		}
@@ -352,10 +379,11 @@ func runDomino(stdout, stderr io.Writer, workers int) int {
 		// the rollback distance from a separate crashed run recovered by
 		// searching for the latest consistent cut.
 		uncClean, err := sim.Run(sim.Config{
-			Program: prog,
-			Nproc:   n,
-			Input:   input,
-			Hooks:   protocol.Uncoordinated(interval),
+			Program:  prog,
+			Nproc:    n,
+			Input:    input,
+			Hooks:    protocol.Uncoordinated(interval),
+			Observer: o,
 		})
 		if err != nil {
 			return "", err
@@ -377,6 +405,7 @@ func runDomino(stdout, stderr io.Writer, workers int) int {
 			Failures:     []sim.Failure{{Proc: victim, AfterEvents: 14}},
 			Recover:      recovery.LatestConsistent,
 			DisableTrace: true,
+			Observer:     o,
 		})
 		if err != nil {
 			return "", err

@@ -134,6 +134,53 @@ func TestRuntimeFigureHistograms(t *testing.T) {
 	if rows := nonComment(s); len(rows) != 4 {
 		t.Errorf("data rows = %d, want 4:\n%s", len(rows), s)
 	}
+	// Every populated # hist block is followed by a # pXX percentile
+	// summary interpolated from the same buckets; empty ones are not.
+	checkPXXLines(t, s)
+	if !strings.Contains(s, "# pXX n=2 sas barrier_stall_vs p50=") {
+		t.Errorf("no SaS stall percentile summary:\n%s", s)
+	}
+	if strings.Contains(s, "# pXX n=2 appl barrier_stall_vs") {
+		t.Errorf("percentile summary for an empty histogram:\n%s", s)
+	}
+}
+
+// checkPXXLines pins the # hist → # pXX pairing: each populated histogram
+// line is immediately followed by its percentile line with parseable,
+// ordered p50 ≤ p95 ≤ p99 values.
+func checkPXXLines(t *testing.T, s string) {
+	t.Helper()
+	lines := strings.Split(s, "\n")
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "# hist ") || strings.HasSuffix(line, "(empty)") {
+			continue
+		}
+		if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# pXX ") {
+			t.Errorf("histogram line has no percentile summary: %q", line)
+			continue
+		}
+		f := strings.Fields(lines[i+1])
+		// "# pXX n=K proto name p50=... p95=... p99=..."
+		if len(f) != 8 {
+			t.Errorf("malformed pXX line: %q", lines[i+1])
+			continue
+		}
+		var p50, p95, p99 float64
+		for _, kv := range []struct {
+			s string
+			v *float64
+		}{{f[5], &p50}, {f[6], &p95}, {f[7], &p99}} {
+			_, val, ok := strings.Cut(kv.s, "=")
+			if !ok {
+				t.Errorf("bad pXX field %q in %q", kv.s, lines[i+1])
+				continue
+			}
+			*kv.v = parse(t, val)
+		}
+		if !(p50 <= p95 && p95 <= p99) || p99 <= 0 {
+			t.Errorf("percentiles not ordered/positive in %q", lines[i+1])
+		}
+	}
 }
 
 // TestBenchProfilingFlags checks the pprof flags write non-empty profiles.

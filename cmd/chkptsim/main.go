@@ -11,13 +11,27 @@
 //	         [-net-reorder-rate 0.1] [-net-partition '0>1@100ms+300ms']
 //	         [-trace-out run.json] [-events-out run.jsonl]
 //	         [-metrics-out metrics.jsonl]
+//	         [-telemetry-addr 127.0.0.1:9464] [-telemetry-window 250ms]
+//	         [-telemetry-linger 0s] [-telemetry-lag 0] [-dash]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] program.mpl
 //
 // The observability flags persist the run: -trace-out writes a Chrome
 // trace-event file for Perfetto/chrome://tracing, -events-out streams
-// structured JSONL events as they happen (flushed even when the run
-// fails), and -metrics-out exports counters, histograms, and stage timers
-// as JSONL.
+// structured JSONL events as they happen (buffered with periodic flushes,
+// durable even when the run fails), and -metrics-out exports counters,
+// histograms, and stage timers as JSONL.
+//
+// The live telemetry flags observe the run WHILE it executes:
+// -telemetry-addr serves /metrics (Prometheus text format 0.0.4),
+// /snapshot.json, and /healthz from a streaming aggregator fed by the same
+// observer fan-out as the artifacts above; -telemetry-window sets its
+// aggregation window; -telemetry-linger keeps the endpoint up after the
+// run ends so a scraper catches the final state; -telemetry-lag arms the
+// checkpoint-lag detector at the given virtual-second threshold. -dash
+// renders a live ANSI dashboard to stderr (per-process state, event rates,
+// save-latency percentiles, health verdicts). Detector verdicts — stalls,
+// rollback storms, checkpoint lag — are also published as stall/storm/lag
+// events into -events-out and -trace-out.
 //
 // The chaos flags inject seeded faults: -chaos-crash-rate derives a
 // multi-process, multi-incarnation crash schedule from a Poisson process
@@ -35,6 +49,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +69,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/zigzag"
 )
@@ -109,6 +125,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		dupRate    = fs.Float64("net-dup-rate", 0, "per-frame duplication probability in [0,1]; enables the hardened transport")
 		reorderRt  = fs.Float64("net-reorder-rate", 0, "per-frame reorder probability in [0,1]; enables the hardened transport")
 		partitions = fs.String("net-partition", "", "directed partition windows as FROM>TO@START+DUR, comma-separated ('0>1@100ms+300ms'; '*' wildcards a side); enables the hardened transport")
+		telAddr    = fs.String("telemetry-addr", "", "serve live telemetry on this address: /metrics (Prometheus text), /snapshot.json, /healthz (e.g. 127.0.0.1:9464, or :0 for an ephemeral port)")
+		telWindow  = fs.Duration("telemetry-window", 250*time.Millisecond, "telemetry aggregation window (rates, detectors, ring retention)")
+		telLinger  = fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run ends (final-scrape window)")
+		telLag     = fs.Float64("telemetry-lag", 0, "checkpoint-lag alert threshold in virtual seconds (0 disables the lag detector; the gauge is always exported)")
+		dash       = fs.Bool("dash", false, "render a live telemetry dashboard to stderr while the run executes")
 	)
 	fs.Var(&failures, "fail", "inject a failure as proc:events (repeatable; k-th flag applies to incarnation k)")
 	if err := fs.Parse(args); err != nil {
@@ -205,12 +226,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintln(stderr, "chkptsim:", err)
 			return 1
 		}
-		stream = obs.NewStreamWriter(f)
+		// Buffered for hot-path cheapness, auto-flushed so a kill -9 still
+		// leaves a parseable JSONL prefix on disk; Close does the final
+		// flush, closes the file, and surfaces errors from every stage.
+		stream = obs.NewStreamWriter(bufferedFile{bufio.NewWriterSize(f, 64<<10), f})
+		stream.AutoFlush(200 * time.Millisecond)
 		defer func() {
-			if err := stream.Err(); err != nil {
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := stream.Close(); err != nil {
 				fail(err)
 			}
 		}()
@@ -223,6 +245,52 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		observers = append(observers, stream)
 	}
 	cfg.Observer = obs.Multi(observers...)
+
+	// Live telemetry: the aggregator joins the observer fan-out (so chaos
+	// layers built below publish into it too), samples the run's counters
+	// every window, and pushes detector verdicts back into the recorder
+	// and event stream — never into itself.
+	if *telAddr != "" || *dash {
+		counters := &metrics.Counters{}
+		cfg.Counters = counters
+		agg := telemetry.New(telemetry.Config{
+			Nproc:        *nproc,
+			Window:       *telWindow,
+			Counters:     counters,
+			Sink:         cfg.Observer,
+			LagThreshold: *telLag,
+		})
+		cfg.Observer = obs.Multi(cfg.Observer, agg)
+		stopTick := agg.Start()
+		if *telAddr != "" {
+			srv, err := telemetry.NewServer(*telAddr, agg)
+			if err != nil {
+				fmt.Fprintln(stderr, "chkptsim:", err)
+				stopTick()
+				return 1
+			}
+			fmt.Fprintf(stderr, "chkptsim: telemetry at %s/metrics\n", srv.URL())
+			defer func() {
+				if err := srv.Close(); err != nil {
+					fail(err)
+				}
+			}()
+		}
+		var stopDash func()
+		if *dash {
+			stopDash = telemetry.NewDashboard(agg, stderr).RunUntil()
+		}
+		defer func() {
+			stopTick()
+			agg.Tick() // close the final partial window
+			if stopDash != nil {
+				stopDash()
+			}
+			if *telAddr != "" && *telLinger > 0 {
+				time.Sleep(*telLinger)
+			}
+		}()
+	}
 	if rec != nil {
 		// Written in a defer: a failing run should still leave a timeline
 		// of everything up to the failure.
@@ -385,6 +453,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	return 0
 }
+
+// bufferedFile routes stream writes through a bufio buffer while letting
+// StreamWriter.Close flush it and close the underlying file.
+type bufferedFile struct {
+	*bufio.Writer
+	f *os.File
+}
+
+func (b bufferedFile) Close() error { return b.f.Close() }
 
 func readSource(path string) (string, error) {
 	if path == "-" {

@@ -2,10 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 const fig2Src = `
@@ -387,4 +391,120 @@ func nonEmptyLines(t *testing.T, path string) []string {
 		}
 	}
 	return out
+}
+
+// TestTelemetryEndpoint runs with -telemetry-addr :0 and scrapes the live
+// endpoint while the run lingers: /metrics must expose the core families,
+// /snapshot.json must decode, and /healthz must answer.
+func TestTelemetryEndpoint(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	var out strings.Builder
+	var errb syncWriter
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-n", "4", "-transform",
+			"-telemetry-addr", "127.0.0.1:0", "-telemetry-linger", "2s", path}, &out, &errb)
+	}()
+
+	// The server URL is announced on stderr before the run starts.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no telemetry URL announced:\n%s", errb.String())
+		}
+		s := errb.String()
+		if _, rest, ok := strings.Cut(s, "telemetry at "); ok {
+			if u, _, ok := strings.Cut(rest, "/metrics"); ok {
+				base = u
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	get := func(p string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 {
+		t.Errorf("/metrics = %d: %s", code, body)
+	} else {
+		for _, want := range []string{
+			"# TYPE chkptsim_events_total counter",
+			"chkptsim_healthy",
+			`chkptsim_counter_total{name="checkpoints"}`,
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/metrics missing %q:\n%s", want, body)
+			}
+		}
+	}
+	if code, body := get("/snapshot.json"); code != 200 {
+		t.Errorf("/snapshot.json = %d", code)
+	} else {
+		var snap struct {
+			Total int64            `json:"total_events"`
+			Kinds map[string]int64 `json:"kinds"`
+		}
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("snapshot decode: %v", err)
+		}
+		if snap.Total == 0 || snap.Kinds["chkpt"] == 0 {
+			t.Errorf("snapshot empty after run: %+v", snap)
+		}
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q on a clean run", code, body)
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errb.String())
+	}
+}
+
+// TestDashFlag: -dash renders at least one dashboard frame to stderr (the
+// final frame fires on shutdown even for runs shorter than the refresh).
+func TestDashFlag(t *testing.T) {
+	path := writeTemp(t, fig2Src)
+	var out strings.Builder
+	var errb syncWriter
+	if code := run([]string{"-n", "4", "-transform", "-dash", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errb.String())
+	}
+	se := errb.String()
+	if !strings.Contains(se, "chkpt live telemetry") {
+		t.Errorf("no dashboard frame on stderr:\n%q", se)
+	}
+	if !strings.Contains(out.String(), "recovery line") {
+		t.Errorf("run summary missing from stdout: %q", out.String())
+	}
+}
+
+// syncWriter is a goroutine-safe strings.Builder: the dashboard ticker and
+// telemetry server announce on stderr concurrently with run() itself.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
 }

@@ -1,0 +1,139 @@
+// Command telemetryprobe polls a chkpt telemetry endpoint and asserts it is
+// serving well-formed data — the scraper side of the smoke test, written
+// against net/http so CI needs no curl/wget.
+//
+// Usage:
+//
+//	telemetryprobe -url http://127.0.0.1:9464 \
+//	    [-want chkptsim_events_total,chkptsim_healthy] \
+//	    [-timeout 5s] [-interval 100ms] [-min-events 1] [-quiet]
+//
+// The probe retries until every required metric family appears in /metrics
+// (as a `# TYPE` line), /snapshot.json decodes and reports at least
+// -min-events total events, and /healthz answers. Exit status: 0 on
+// success, 1 on timeout or malformed payloads, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("telemetryprobe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url       = fs.String("url", "http://127.0.0.1:9464", "telemetry base URL")
+		want      = fs.String("want", "chkptsim_events_total,chkptsim_healthy", "comma-separated metric families that must be present")
+		timeout   = fs.Duration("timeout", 5*time.Second, "give up after this long")
+		interval  = fs.Duration("interval", 100*time.Millisecond, "poll interval")
+		minEvents = fs.Int64("min-events", 1, "minimum total_events in /snapshot.json")
+		quiet     = fs.Bool("quiet", false, "suppress the success summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := strings.TrimRight(*url, "/")
+
+	var wanted []string
+	for _, w := range strings.Split(*want, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			wanted = append(wanted, w)
+		}
+	}
+
+	deadline := time.Now().Add(*timeout)
+	var lastErr error
+	for {
+		lastErr = probe(base, wanted, *minEvents, stdout, *quiet)
+		if lastErr == nil {
+			return 0
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(stderr, "telemetryprobe: %v (after %s)\n", lastErr, *timeout)
+			return 1
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// probe performs one full pass over the three endpoints; any failure makes
+// the caller retry until its deadline.
+func probe(base string, wanted []string, minEvents int64, stdout io.Writer, quiet bool) error {
+	metrics, err := fetch(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	families := 0
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+		}
+	}
+	for _, w := range wanted {
+		if !strings.Contains(metrics, "# TYPE "+w+" ") {
+			return fmt.Errorf("/metrics missing family %s", w)
+		}
+	}
+
+	rawSnap, err := fetch(base + "/snapshot.json")
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Total  int64            `json:"total_events"`
+		Ticks  int64            `json:"ticks"`
+		Kinds  map[string]int64 `json:"kinds"`
+		Health struct {
+			Stalls int64 `json:"stalls"`
+			Storms int64 `json:"storms"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal([]byte(rawSnap), &snap); err != nil {
+		return fmt.Errorf("/snapshot.json: %w", err)
+	}
+	if snap.Total < minEvents {
+		return fmt.Errorf("/snapshot.json total_events %d < %d", snap.Total, minEvents)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("GET /healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("/healthz status %d", resp.StatusCode)
+	}
+
+	if !quiet {
+		fmt.Fprintf(stdout, "telemetryprobe: ok — %d families, %d events, %d kinds, healthz=%d\n",
+			families, snap.Total, len(snap.Kinds), resp.StatusCode)
+	}
+	return nil
+}
+
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("read %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// probeServer starts a telemetry server over a minimally populated
+// aggregator and returns its base URL.
+func probeServer(t *testing.T) string {
+	t.Helper()
+	agg := telemetry.New(telemetry.Config{Nproc: 2, Window: time.Hour})
+	agg.OnEvent(obs.Event{Kind: obs.KindCompute, Proc: 0, VTime: 1})
+	agg.OnEvent(obs.Event{Kind: obs.KindChkpt, Proc: 0, VTime: 1, DurNS: 1e6})
+	agg.Tick()
+	srv, err := telemetry.NewServer("127.0.0.1:0", agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.URL()
+}
+
+func TestProbeSucceeds(t *testing.T) {
+	url := probeServer(t)
+	var out, errb strings.Builder
+	code := run([]string{"-url", url, "-timeout", "3s"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "telemetryprobe: ok") {
+		t.Errorf("no success summary: %q", out.String())
+	}
+}
+
+func TestProbeMissingFamilyFails(t *testing.T) {
+	url := probeServer(t)
+	var out, errb strings.Builder
+	code := run([]string{"-url", url, "-want", "no_such_family",
+		"-timeout", "200ms", "-interval", "50ms"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no_such_family") {
+		t.Errorf("error does not name the missing family: %q", errb.String())
+	}
+}
+
+func TestProbeUnreachableFails(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-url", "http://127.0.0.1:1",
+		"-timeout", "200ms", "-interval", "50ms"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestProbeBadUsage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestProbeMinEvents(t *testing.T) {
+	url := probeServer(t)
+	var out, errb strings.Builder
+	code := run([]string{"-url", url, "-min-events", "1000",
+		"-timeout", "200ms", "-interval", "50ms"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "total_events") {
+		t.Errorf("error does not mention total_events: %q", errb.String())
+	}
+}

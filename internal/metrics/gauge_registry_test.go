@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGauges(t *testing.T) {
+	c := &Counters{}
+	if got := c.Gauge("lag"); got != 0 {
+		t.Errorf("unset gauge = %g", got)
+	}
+	c.SetGauge("lag", 1.5)
+	c.SetGauge("lag", 0.25) // gauges overwrite, unlike counters
+	c.SetGauge("watermark", 7)
+	if got := c.Gauge("lag"); got != 0.25 {
+		t.Errorf("lag = %g, want 0.25", got)
+	}
+	s := c.Snapshot()
+	if s.Gauges["lag"] != 0.25 || s.Gauges["watermark"] != 7 {
+		t.Errorf("snapshot gauges = %v", s.Gauges)
+	}
+	if !strings.Contains(s.String(), "lag=0.25") {
+		t.Errorf("String() = %q, want lag gauge", s.String())
+	}
+	c.Reset()
+	if got := c.Snapshot().Gauges; got != nil {
+		t.Errorf("gauges after Reset = %v", got)
+	}
+}
+
+func TestGaugeMergeKeepsMax(t *testing.T) {
+	a, b := &Counters{}, &Counters{}
+	a.SetGauge("lag", 2)
+	b.SetGauge("lag", 5)
+	b.SetGauge("other", 1)
+	if err := a.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Gauge("lag"); got != 5 {
+		t.Errorf("merged lag = %g, want 5 (max)", got)
+	}
+	if got := a.Gauge("other"); got != 1 {
+		t.Errorf("merged other = %g, want 1", got)
+	}
+	// Merging a smaller reading must not regress the gauge.
+	low := &Counters{}
+	low.SetGauge("lag", 1)
+	if err := a.Merge(low.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Gauge("lag"); got != 5 {
+		t.Errorf("lag after low merge = %g, want 5", got)
+	}
+}
+
+func TestGaugesConcurrent(t *testing.T) {
+	c := &Counters{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.SetGauge("g", float64(i))
+				c.SetGauge("h", float64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Gauge("g"); got < 0 || got > 499 {
+		t.Errorf("g = %g out of range", got)
+	}
+}
+
+// TestRegistryHistogramBoundsConflict is the regression test for
+// Registry.Histogram silently ignoring bounds on every call after the
+// first: conflicting bounds must panic, matching or absent bounds must
+// return the existing histogram.
+func TestRegistryHistogramBoundsConflict(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", 1, 2, 3)
+	if got := r.Histogram("x"); got != h {
+		t.Error("no-bounds call did not return the existing histogram")
+	}
+	if got := r.Histogram("x", 1, 2, 3); got != h {
+		t.Error("matching-bounds call did not return the existing histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting bounds did not panic")
+		}
+	}()
+	r.Histogram("x", 1, 2, 4)
+}
+
+// TestRegistryHistogramDefaultThenExplicit: a histogram created with
+// default buckets then re-requested with explicitly equal bounds is not a
+// conflict; a different explicit set is.
+func TestRegistryHistogramDefaultThenExplicit(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("y") // DefaultBuckets
+	if got := r.Histogram("y", DefaultBuckets...); got != h {
+		t.Error("explicit DefaultBuckets treated as a conflict")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting bounds did not panic")
+		}
+	}()
+	r.Histogram("y", 10, 20)
+}

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +36,7 @@ type Counters struct {
 	blocked         atomic.Int64 // nanoseconds
 
 	custom customMap
+	gauges gaugeMap
 
 	hmu   sync.Mutex
 	hists map[string]*Histogram
@@ -117,6 +119,71 @@ func (c *customMap) snapshot() map[string]int64 {
 	return out
 }
 
+// gaugeMap is a name → float64 gauge map striped like customMap. Gauges
+// carry "current value" readings (checkpoint lag, last-save virtual time)
+// rather than monotone totals; the live exposition layer renders them as
+// Prometheus gauges.
+type gaugeMap struct {
+	shards [customShards]struct {
+		mu sync.RWMutex
+		m  map[string]*atomic.Uint64 // float64 bits
+	}
+}
+
+// cell returns the gauge cell for name, creating it on first use.
+func (g *gaugeMap) cell(name string) *atomic.Uint64 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	s := &g.shards[h%customShards]
+	s.mu.RLock()
+	v := s.m[name]
+	s.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v = s.m[name]; v != nil {
+		return v
+	}
+	if s.m == nil {
+		s.m = make(map[string]*atomic.Uint64)
+	}
+	v = new(atomic.Uint64)
+	s.m[name] = v
+	return v
+}
+
+// reset drops every gauge.
+func (g *gaugeMap) reset() {
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}
+
+// snapshot copies all gauges into one map (nil when empty).
+func (g *gaugeMap) snapshot() map[string]float64 {
+	var out map[string]float64
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if out == nil {
+				out = make(map[string]float64)
+			}
+			out[k] = math.Float64frombits(v.Load())
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
 // IncAppMessages records n application (payload) messages.
 func (c *Counters) IncAppMessages(n int) { c.appMessages.Add(int64(n)) }
 
@@ -164,6 +231,19 @@ func (c *Counters) Max(name string, v int64) {
 	}
 }
 
+// SetGauge records the current value of a named gauge — a point-in-time
+// reading, not a total. The common case (the gauge exists) is a shard
+// read-lock plus one atomic store, cheap enough for instrumentation points
+// inside the runtime.
+func (c *Counters) SetGauge(name string, v float64) {
+	c.gauges.cell(name).Store(math.Float64bits(v))
+}
+
+// Gauge reads a named gauge (0 when never set).
+func (c *Counters) Gauge(name string) float64 {
+	return math.Float64frombits(c.gauges.cell(name).Load())
+}
+
 // ObserveHist records one observation in the named distribution, creating
 // it with DefaultBuckets on first use. Distributions turn the totals above
 // into per-event shapes: how long each barrier stall was, not just their
@@ -195,6 +275,7 @@ func (c *Counters) Reset() {
 	c.restartedEvents.Store(0)
 	c.blocked.Store(0)
 	c.custom.reset()
+	c.gauges.reset()
 	c.hmu.Lock()
 	c.hists = nil
 	c.hmu.Unlock()
@@ -214,6 +295,18 @@ func (c *Counters) Merge(s Snapshot) error {
 	c.blocked.Add(int64(s.Blocked))
 	for k, v := range s.Custom {
 		c.custom.counter(k).Add(v)
+	}
+	// Gauges are point-in-time readings, so "adding" them is meaningless;
+	// merged snapshots keep the maximum, which is both deterministic under
+	// parallel merges and the useful aggregate for lag/watermark gauges.
+	for k, v := range s.Gauges {
+		cell := c.gauges.cell(k)
+		for {
+			old := cell.Load()
+			if v <= math.Float64frombits(old) || cell.CompareAndSwap(old, math.Float64bits(v)) {
+				break
+			}
+		}
 	}
 	for name, hs := range s.Hists {
 		c.hmu.Lock()
@@ -244,6 +337,7 @@ type Snapshot struct {
 	RestartedEvents int64
 	Blocked         time.Duration
 	Custom          map[string]int64
+	Gauges          map[string]float64
 	Hists           map[string]HistSnapshot
 }
 
@@ -261,6 +355,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Blocked:         time.Duration(c.blocked.Load()),
 	}
 	s.Custom = c.custom.snapshot()
+	s.Gauges = c.gauges.snapshot()
 	c.hmu.Lock()
 	if len(c.hists) > 0 {
 		s.Hists = make(map[string]HistSnapshot, len(c.hists))
@@ -289,6 +384,16 @@ func (s Snapshot) String() string {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Fprintf(&sb, " %s=%d", k, s.Custom[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		keys := make([]string, 0, len(s.Gauges))
+		for k := range s.Gauges {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%g", k, s.Gauges[k])
 		}
 	}
 	if len(s.Hists) > 0 {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -39,8 +40,12 @@ func (r *Registry) Timer(name string) *Timer {
 }
 
 // Histogram returns the named histogram, creating it with the given bounds
-// (DefaultBuckets when empty) on first use. Bounds are only applied at
-// creation.
+// (DefaultBuckets when empty) on first use. Calling again with no bounds
+// returns the existing histogram whatever its bounds; calling again WITH
+// bounds panics unless they match the existing ones exactly — silently
+// ignoring them would hand the caller buckets it did not ask for, and the
+// mismatch would only surface (if ever) as a merge failure far from the
+// bug.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -48,8 +53,26 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	if !ok {
 		h = NewHistogram(bounds...)
 		r.hists[name] = h
+		return h
+	}
+	if len(bounds) > 0 && !equalBounds(h.bounds, bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q exists with bounds %v, requested %v",
+			name, h.bounds, bounds))
 	}
 	return h
+}
+
+// equalBounds reports whether two bound slices are identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Snapshot exports every metric, timers sorted by name.

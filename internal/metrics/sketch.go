@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Sketch is a mergeable streaming quantile sketch: a fixed-bucket CDF over
+// log-spaced bounds with purely atomic state. Observe is lock-free and
+// allocation-free, so the live telemetry aggregator can feed it from the
+// runtime's hot observer path; quantiles are estimated mid-run from the
+// bucket CDF with linear interpolation inside the winning bucket, without
+// retaining raw samples. Sketches built with the same bounds merge exactly
+// (counts add), which makes per-shard or per-run sketches composable the
+// same way fixed-bucket histograms are.
+//
+// The zero value is not usable; construct with NewSketch.
+type Sketch struct {
+	bounds []float64 // ascending upper bounds
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	min    atomic.Uint64 // float64 bits, +Inf when empty
+	max    atomic.Uint64 // float64 bits, -Inf when empty
+}
+
+// DefaultSketchBounds is a log-spaced series, eight buckets per decade from
+// 1e-6 to 1e6 — a ~15% worst-case relative quantile error over the same
+// twelve decades DefaultBuckets spans, at 97 buckets.
+var DefaultSketchBounds = defaultSketchBounds()
+
+func defaultSketchBounds() []float64 {
+	const perDecade = 8
+	b := make([]float64, 0, 12*perDecade+1)
+	for e := 0; e <= 12*perDecade; e++ {
+		b = append(b, 1e-6*math.Pow(10, float64(e)/perDecade))
+	}
+	return b
+}
+
+// NewSketch creates a sketch with the given ascending upper bounds; with no
+// arguments it uses DefaultSketchBounds. It panics on unsorted bounds —
+// always a programming error, not input.
+func NewSketch(bounds ...float64) *Sketch {
+	if len(bounds) == 0 {
+		bounds = DefaultSketchBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: sketch bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	s := &Sketch{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	s.min.Store(math.Float64bits(math.Inf(1)))
+	s.max.Store(math.Float64bits(math.Inf(-1)))
+	return s
+}
+
+// Observe records one value. Lock-free, allocation-free.
+func (s *Sketch) Observe(v float64) {
+	i := sort.SearchFloat64s(s.bounds, v)
+	s.counts[i].Add(1)
+	s.count.Add(1)
+	addFloat(&s.sum, v)
+	minFloat(&s.min, v)
+	maxFloat(&s.max, v)
+}
+
+// addFloat atomically adds v to the float64 stored as bits in a.
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// minFloat atomically lowers the float64 stored in a to v if v is smaller.
+func minFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if v >= math.Float64frombits(old) || a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// maxFloat atomically raises the float64 stored in a to v if v is larger.
+func maxFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if v <= math.Float64frombits(old) || a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a copy of the sketch state. Concurrent observers may
+// land between field reads (same caveat as Counters.Snapshot); each field
+// is individually exact.
+func (s *Sketch) Snapshot() SketchSnapshot {
+	out := SketchSnapshot{
+		Bounds: append([]float64(nil), s.bounds...),
+		Counts: make([]int64, len(s.counts)),
+		Count:  s.count.Load(),
+		Sum:    math.Float64frombits(s.sum.Load()),
+		Min:    math.Float64frombits(s.min.Load()),
+		Max:    math.Float64frombits(s.max.Load()),
+	}
+	for i := range s.counts {
+		out.Counts[i] = s.counts[i].Load()
+	}
+	return out
+}
+
+// Merge folds a snapshot into the sketch. The snapshot must share bounds.
+func (s *Sketch) Merge(o SketchSnapshot) error {
+	if len(o.Bounds) != len(s.bounds) {
+		return fmt.Errorf("metrics: merging sketches with %d vs %d buckets", len(o.Bounds), len(s.bounds))
+	}
+	for i, b := range o.Bounds {
+		if b != s.bounds[i] {
+			return fmt.Errorf("metrics: merging sketches with different bounds at %d: %g vs %g", i, b, s.bounds[i])
+		}
+	}
+	for i, c := range o.Counts {
+		s.counts[i].Add(c)
+	}
+	s.count.Add(o.Count)
+	addFloat(&s.sum, o.Sum)
+	if o.Count > 0 {
+		minFloat(&s.min, o.Min)
+		maxFloat(&s.max, o.Max)
+	}
+	return nil
+}
+
+// Reset zeroes the sketch for reuse.
+func (s *Sketch) Reset() {
+	for i := range s.counts {
+		s.counts[i].Store(0)
+	}
+	s.count.Store(0)
+	s.sum.Store(0)
+	s.min.Store(math.Float64bits(math.Inf(1)))
+	s.max.Store(math.Float64bits(math.Inf(-1)))
+}
+
+// SketchSnapshot is an immutable copy of a sketch — structurally a CDF: the
+// i-th count covers (Bounds[i-1], Bounds[i]], with a final overflow bucket.
+type SketchSnapshot struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// SketchFromHist reinterprets a fixed-bucket histogram snapshot as a sketch
+// CDF — the two share bucket semantics — so interpolated quantiles are
+// available for every distribution the runtime already records.
+func SketchFromHist(h HistSnapshot) SketchSnapshot {
+	return SketchSnapshot{
+		Bounds: h.Bounds, Counts: h.Counts,
+		Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+	}
+}
+
+// Mean returns the average observation (0 when empty).
+func (s SketchSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by locating the bucket
+// holding the q-th observation and interpolating linearly inside it,
+// clamped to the observed min/max. It returns 0 when the sketch is empty.
+// Worst-case relative error is bounded by the bucket width (one eighth of a
+// decade for the default bounds).
+func (s SketchSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen < rank {
+			continue
+		}
+		lo, hi := s.bucketEdges(i)
+		// Position of the rank inside this bucket's c observations.
+		frac := float64(rank-(seen-c)) / float64(c)
+		est := lo + frac*(hi-lo)
+		return math.Min(math.Max(est, s.Min), s.Max)
+	}
+	return s.Max
+}
+
+// bucketEdges returns the value range covered by bucket i, substituting the
+// observed extremes for the open ends (below the first bound, above the
+// last).
+func (s SketchSnapshot) bucketEdges(i int) (lo, hi float64) {
+	if i == 0 {
+		lo = math.Min(s.Min, s.Bounds[0])
+	} else {
+		lo = s.Bounds[i-1]
+	}
+	if i < len(s.Bounds) {
+		hi = s.Bounds[i]
+	} else {
+		hi = math.Max(s.Max, s.Bounds[len(s.Bounds)-1])
+	}
+	return lo, hi
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -30,11 +31,13 @@ func pipelineEvents(t *testing.T) []byte {
 	rec := obs.NewRecorder()
 	rec.Now = func() int64 { return 0 }
 	tm := sim.PaperTimeModel
+	epoch := time.Unix(0, 0)
 	if _, err := sim.Run(sim.Config{
-		Program:  rep.Program,
-		Nproc:    4,
-		Time:     &tm,
-		Observer: rec,
+		Program:   rep.Program,
+		Nproc:     4,
+		Time:      &tm,
+		Observer:  rec,
+		WallClock: func() time.Time { return epoch }, // durations pin to 0
 	}); err != nil {
 		t.Fatal(err)
 	}

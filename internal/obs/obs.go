@@ -22,7 +22,7 @@
 //
 //	kind    string  event kind: send, recv, chkpt, compute, block,
 //	                rollback, restart, halt, fault, retry, scrub, degraded,
-//	                netfault, suspect, backlog, heal
+//	                netfault, suspect, backlog, heal, stall, storm, lag
 //	proc    int     process rank; -1 for run-level events
 //	inc     int     incarnation (0 until the first recovery)
 //	seq     int     position in the (inc, proc) local history
@@ -72,6 +72,13 @@ const (
 	KindSuspect  Kind = "suspect"  // heartbeat failure detector suspected a silent peer
 	KindBacklog  Kind = "backlog"  // a channel queue crossed the configured backlog watermark
 	KindHeal     Kind = "heal"     // a directed partition window closed (first frame through)
+	// Health kinds: the live telemetry aggregator (internal/telemetry)
+	// publishes its detector verdicts back into the event stream so the
+	// flight recorder captures WHEN the run went unhealthy, not just that
+	// it did.
+	KindStall Kind = "stall" // no forward progress from a process for N aggregation windows
+	KindStorm Kind = "storm" // rollback storm: repeated rollbacks within the detector's horizon
+	KindLag   Kind = "lag"   // checkpoint lag: virtual time since a process's last completed save crossed the threshold
 )
 
 // MsgRef identifies an application message (sender, receiver, per-channel

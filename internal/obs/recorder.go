@@ -105,18 +105,33 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 // run still leaves its events on disk. Construct with NewStreamWriter;
 // check Err after the run (a stream that went bad swallows subsequent
 // events rather than blocking the runtime).
+//
+// When the underlying writer buffers (it implements Flush() error, like
+// bufio.Writer), call AutoFlush to bound how much history a kill can lose,
+// and Close at the end of the run: Close stops the flusher, forces a final
+// flush, closes the writer when it is an io.Closer, and returns the first
+// error from any of stream, flush, or close — a lost flush must fail the
+// run's exit code, not vanish.
 type StreamWriter struct {
 	mu  sync.Mutex
 	st  stamper
+	w   io.Writer
 	enc *json.Encoder
 	err error
 	// Now mirrors Recorder.Now.
 	Now func() int64
+
+	stopFlush chan struct{} // non-nil while AutoFlush runs
+	flushDone chan struct{}
 }
+
+// flusher is the buffered-writer contract AutoFlush and Close act on
+// (bufio.Writer satisfies it).
+type flusher interface{ Flush() error }
 
 // NewStreamWriter creates a streaming observer over w.
 func NewStreamWriter(w io.Writer) *StreamWriter {
-	return &StreamWriter{st: newStamper(), enc: json.NewEncoder(w)}
+	return &StreamWriter{st: newStamper(), w: w, enc: json.NewEncoder(w)}
 }
 
 // OnEvent implements Observer.
@@ -135,4 +150,88 @@ func (s *StreamWriter) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// Flush forces buffered events to the underlying writer (no-op when the
+// writer does not buffer). The first flush failure poisons the stream like
+// a write failure would.
+func (s *StreamWriter) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *StreamWriter) flushLocked() error {
+	f, ok := s.w.(flusher)
+	if !ok {
+		return s.err
+	}
+	if err := f.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// AutoFlush flushes the stream every interval until Close (or the returned
+// stop function) is called, so a killed run leaves at most one interval of
+// events in the buffer. It is a no-op for unbuffered writers. Calling it
+// twice without an intervening stop panics — two flush loops on one stream
+// is always a wiring bug.
+func (s *StreamWriter) AutoFlush(interval time.Duration) (stop func()) {
+	s.mu.Lock()
+	if s.stopFlush != nil {
+		s.mu.Unlock()
+		panic("obs: AutoFlush already running")
+	}
+	if _, ok := s.w.(flusher); !ok || interval <= 0 {
+		s.mu.Unlock()
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	s.stopFlush, s.flushDone = stopCh, doneCh
+	s.mu.Unlock()
+
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Flush()
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	return func() { s.stopAutoFlush() }
+}
+
+func (s *StreamWriter) stopAutoFlush() {
+	s.mu.Lock()
+	stopCh, doneCh := s.stopFlush, s.flushDone
+	s.stopFlush, s.flushDone = nil, nil
+	s.mu.Unlock()
+	if stopCh == nil {
+		return
+	}
+	close(stopCh)
+	<-doneCh
+}
+
+// Close stops any AutoFlush loop, flushes buffered events, closes the
+// underlying writer when it is an io.Closer, and returns the first error
+// among stream error, flush error, and close error.
+func (s *StreamWriter) Close() error {
+	s.stopAutoFlush()
+	s.mu.Lock()
+	first := s.flushLocked()
+	s.mu.Unlock()
+	if c, ok := s.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -33,6 +33,14 @@ const (
 	HistChkptSaveMS = "chkpt_save_ms"
 )
 
+// GaugeLastSaveVPrefix + rank names the per-process gauge holding the
+// virtual time of the process's most recent completed checkpoint save —
+// the raw signal behind the telemetry layer's checkpoint-lag computation
+// (lag = current virtual time − last save). Runs without Config.Time
+// report 0, which still marks "has saved at least once" via the gauge's
+// presence.
+const GaugeLastSaveVPrefix = "chkpt_last_save_vs_p"
+
 // ErrProcFailed is the injected-failure signal.
 var ErrProcFailed = errors.New("sim: process failed (injected)")
 
@@ -89,6 +97,14 @@ type Proc struct {
 	workLeft    int
 	workQuantum int
 
+	// lastSaveNS is the wall duration of the most recent checkpoint save,
+	// stashed so record can attach it to the checkpoint's observer event
+	// (live telemetry derives save-latency percentiles from it).
+	lastSaveNS int64
+	// wallNow is the wall-clock source for duration measurements
+	// (Config.WallClock; nil means time.Now).
+	wallNow func() stdtime.Time
+
 	// jitter, when set, yields the goroutine randomly at instruction
 	// boundaries to diversify real-time interleavings (Config.Jitter).
 	jitter *rand.Rand
@@ -130,6 +146,15 @@ func newProc(rank int, code *Code, net *Network, tr *trace.Trace, st storage.Sto
 	}
 	p.env = mpl.NewEnv(code.Prog, rank, n, inputFn)
 	return p
+}
+
+// now reads the process's wall-clock source (Config.WallClock pin, or the
+// real clock).
+func (p *Proc) now() stdtime.Time {
+	if p.wallNow != nil {
+		return p.wallNow()
+	}
+	return stdtime.Now()
 }
 
 // Rank returns the process id.
@@ -213,6 +238,7 @@ func (p *Proc) record(e trace.Event) error {
 		case trace.KindCheckpoint:
 			oe.Kind = obs.KindChkpt
 			oe.Chkpt = &obs.ChkptRef{Index: e.Chkpt.CFGIndex, Instance: e.Chkpt.Instance}
+			oe.DurNS = p.lastSaveNS
 		default:
 			oe.Kind = obs.KindCompute
 		}
@@ -273,7 +299,7 @@ func (p *Proc) TakeCheckpoint(idx int) error {
 		Instances: instances,
 		VTime:     p.vtime,
 	}
-	saveStart := stdtime.Now()
+	saveStart := p.now()
 	if err := p.store.Save(snap); err != nil {
 		if errors.Is(err, storage.ErrTransient) {
 			// The save exhausted its retries. A process that cannot persist
@@ -286,8 +312,10 @@ func (p *Proc) TakeCheckpoint(idx int) error {
 		}
 		return err
 	}
-	p.counters.ObserveHist(HistChkptSaveMS, float64(stdtime.Since(saveStart).Nanoseconds())/1e6)
+	p.lastSaveNS = p.now().Sub(saveStart).Nanoseconds()
+	p.counters.ObserveHist(HistChkptSaveMS, float64(p.lastSaveNS)/1e6)
 	p.counters.IncCheckpoints(1)
+	p.counters.SetGauge(GaugeLastSaveVPrefix+strconv.Itoa(p.rank), p.vtime)
 	return p.record(trace.Event{
 		Kind:  trace.KindCheckpoint,
 		Chkpt: trace.Checkpoint{CFGIndex: idx, Instance: instance},
@@ -325,7 +353,7 @@ func (p *Proc) SendMarker(to int, tag string, payload []int) error {
 // observer — protocol coordination cost is precisely what the paper's
 // scheme eliminates, so the runtime makes it visible.
 func (p *Proc) RecvCtrl() (Message, error) {
-	start := stdtime.Now()
+	start := p.now()
 	v0 := p.vtime
 	m, err := p.net.RecvCtrl(p.rank)
 	if err != nil {
@@ -334,7 +362,7 @@ func (p *Proc) RecvCtrl() (Message, error) {
 	if err := p.syncTo(m.ArriveV); err != nil {
 		return Message{}, err
 	}
-	blocked := stdtime.Since(start)
+	blocked := p.now().Sub(start)
 	p.counters.AddBlocked(blocked)
 	p.counters.ObserveHist(HistBlockedWallMS, float64(blocked.Nanoseconds())/1e6)
 	if p.time != nil {

@@ -100,6 +100,12 @@ type Config struct {
 	// not just the final one, and it is independent of DisableTrace.
 	// Implementations must be safe for concurrent use.
 	Observer obs.Observer
+	// Counters, when set, is the metrics sink the run accumulates into
+	// instead of a fresh private one — the live-telemetry tap: an
+	// exposition server can snapshot it WHILE the run executes instead of
+	// waiting for Result.Metrics. Pre-existing contents are kept (and so
+	// appear in Result.Metrics); pass a fresh Counters for per-run totals.
+	Counters *metrics.Counters
 	// Net, when set, hardens the network: every message crosses a lossy
 	// link layer (optionally driven by a fault injector, Net.Chaos) with
 	// per-channel sequencing, duplicate suppression, ack/retransmit under
@@ -117,6 +123,12 @@ type Config struct {
 	// results of deterministic programs must not change — which is exactly
 	// what schedule-sweep tests assert. 0 disables jitter.
 	Jitter int64
+	// WallClock overrides the wall-clock source used for duration
+	// measurements (checkpoint save latency, blocked time). Nil means
+	// time.Now. Determinism hook: golden tests pin it to a constant so
+	// measured durations — which otherwise vary run to run — stay zero in
+	// the canonical event stream.
+	WallClock func() time.Time
 }
 
 // Result reports a completed run.
@@ -198,7 +210,10 @@ func Run(cfg Config) (*Result, error) {
 
 	n := cfg.Nproc
 	net := NewNetwork(n)
-	counters := &metrics.Counters{}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
 	if cfg.Net != nil {
 		net.harden(*cfg.Net, counters, cfg.Observer, cfg.Jitter+0x7f4a7c15)
 		// Stop retransmit timers and orphan delayed deliveries once the
@@ -265,6 +280,9 @@ func Run(cfg Config) (*Result, error) {
 				cfg.Observer, incarnation)
 			if cfg.Jitter != 0 {
 				procs[r].jitter = rand.New(rand.NewSource(cfg.Jitter + int64(r)*7919 + int64(incarnation)))
+			}
+			if cfg.WallClock != nil {
+				procs[r].wallNow = cfg.WallClock
 			}
 			if line != nil {
 				if err := procs[r].restore(line.Snapshots[r]); err != nil {

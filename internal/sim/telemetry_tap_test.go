@@ -1,0 +1,75 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestConfigCountersLiveTap: a caller-supplied Counters is the run's real
+// sink — visible mid-run by construction — and Result.Metrics snapshots it.
+func TestConfigCountersLiveTap(t *testing.T) {
+	counters := &metrics.Counters{}
+	res, err := sim.Run(sim.Config{
+		Program:  corpus.JacobiFig1(3),
+		Nproc:    4,
+		Counters: counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := counters.Snapshot()
+	if live.Checkpoints == 0 || live.AppMessages == 0 {
+		t.Fatalf("caller's counters not fed: %+v", live)
+	}
+	if live.Checkpoints != res.Metrics.Checkpoints || live.AppMessages != res.Metrics.AppMessages {
+		t.Errorf("live tap diverges from Result.Metrics: %v vs %v", live, res.Metrics)
+	}
+}
+
+// TestChkptEventsCarrySaveDuration: every checkpoint observer event holds
+// the wall time its save took, and each saving process publishes a
+// last-save virtual-time gauge — the raw signals live telemetry turns into
+// save-latency percentiles and checkpoint lag.
+func TestChkptEventsCarrySaveDuration(t *testing.T) {
+	rec := obs.NewRecorder()
+	tm := sim.PaperTimeModel
+	counters := &metrics.Counters{}
+	_, err := sim.Run(sim.Config{
+		Program:  corpus.JacobiFig1(3),
+		Nproc:    4,
+		Observer: rec,
+		Counters: counters,
+		Time:     &tm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chkpts := 0
+	for _, e := range rec.Events() {
+		if e.Kind != obs.KindChkpt {
+			continue
+		}
+		chkpts++
+		if e.DurNS <= 0 {
+			t.Fatalf("checkpoint event without save duration: %+v", e)
+		}
+	}
+	if chkpts == 0 {
+		t.Fatal("no checkpoint events observed")
+	}
+	gauges := counters.Snapshot().Gauges
+	for p := 0; p < 4; p++ {
+		name := sim.GaugeLastSaveVPrefix + string(rune('0'+p))
+		v, ok := gauges[name]
+		if !ok {
+			t.Fatalf("gauge %s missing: %v", name, gauges)
+		}
+		if v <= 0 {
+			t.Errorf("gauge %s = %g, want a positive virtual save time", name, v)
+		}
+	}
+}

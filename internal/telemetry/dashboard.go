@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Dashboard renders an aggregator as a live plain-ANSI terminal view:
+// run-level rates, health banners, save/block latency percentiles, and one
+// row per process (incarnation, state, virtual clock, checkpoint lag).
+// Zero external dependencies — just cursor-home + erase-to-end redraws, so
+// it works in any VT100-era terminal and degrades to repeated full frames
+// when piped to a file.
+type Dashboard struct {
+	agg *Aggregator
+	out io.Writer
+
+	// Refresh is the redraw interval for Run. Defaults to the
+	// aggregator's window.
+	Refresh time.Duration
+	// Plain disables ANSI control sequences: frames are separated by a
+	// marker line instead of redrawn in place (for logs / non-TTYs).
+	Plain bool
+}
+
+// NewDashboard builds a dashboard over agg writing to out.
+func NewDashboard(agg *Aggregator, out io.Writer) *Dashboard {
+	return &Dashboard{agg: agg, out: out, Refresh: agg.Window()}
+}
+
+// Run redraws until stop is closed, then renders one final frame.
+func (d *Dashboard) Run(stop <-chan struct{}) {
+	interval := d.Refresh
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	if !d.Plain {
+		fmt.Fprint(d.out, "\x1b[2J") // clear once; frames redraw from home
+	}
+	for {
+		d.Frame()
+		select {
+		case <-t.C:
+		case <-stop:
+			d.Frame()
+			return
+		}
+	}
+}
+
+// RunUntil is Run driven by a stop function: it returns a func that halts
+// the dashboard and waits for the final frame.
+func (d *Dashboard) RunUntil() (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.Run(stopCh)
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			<-done
+		})
+	}
+}
+
+// Frame renders one frame of the current snapshot.
+func (d *Dashboard) Frame() {
+	var b strings.Builder
+	if d.Plain {
+		b.WriteString("---- telemetry frame ----\n")
+	} else {
+		b.WriteString("\x1b[H") // cursor home; each line below erases its tail
+	}
+	RenderSnapshot(&b, d.agg.Snapshot(), !d.Plain)
+	if !d.Plain {
+		b.WriteString("\x1b[J") // erase any leftover from a taller prior frame
+	}
+	io.WriteString(d.out, b.String())
+}
+
+// eol terminates a dashboard line, erasing stale tail characters in ANSI
+// mode so shrinking values do not leave droppings.
+func eol(ansi bool) string {
+	if ansi {
+		return "\x1b[K\n"
+	}
+	return "\n"
+}
+
+// RenderSnapshot writes the dashboard view of one snapshot. Exported so
+// one-shot consumers (tests, `-dash` on non-TTYs, post-mortem tools) can
+// render without a ticker.
+func RenderSnapshot(w io.Writer, s Snapshot, ansi bool) {
+	nl := eol(ansi)
+	health := "HEALTHY"
+	if !s.Healthy() {
+		health = "UNHEALTHY"
+		if ansi {
+			health = "\x1b[1;31mUNHEALTHY\x1b[0m"
+		}
+	} else if ansi {
+		health = "\x1b[1;32mHEALTHY\x1b[0m"
+	}
+	fmt.Fprintf(w, "chkpt live telemetry   up %7.1fs   window %4.0fms   ticks %-6d %s%s",
+		s.UptimeSec, s.WindowSec*1e3, s.Ticks, health, nl)
+	fmt.Fprintf(w, "events %-9d stalls %-4d storms %-4d lag-alerts %-4d stalled-procs %-3d%s",
+		s.Total, s.Health.Stalls, s.Health.Storms, s.Health.LagAlerts, s.Health.StalledProcs, nl)
+
+	// Rates, highest first, capped to one line's worth.
+	kinds := sortedKeys(s.Rates)
+	sort.Slice(kinds, func(i, j int) bool { return s.Rates[kinds[i]] > s.Rates[kinds[j]] })
+	var rates []string
+	for i, k := range kinds {
+		if i == 6 {
+			break
+		}
+		rates = append(rates, fmt.Sprintf("%s %.0f/s", k, s.Rates[k]))
+	}
+	fmt.Fprintf(w, "rates: %s%s", strings.Join(rates, "  "), nl)
+
+	fmt.Fprintf(w, "save ms  p50 %8.3f  p95 %8.3f  p99 %8.3f  max %8.3f  n %-8d%s",
+		s.SaveMS.P50, s.SaveMS.P95, s.SaveMS.P99, s.SaveMS.Max, s.SaveMS.Count, nl)
+	fmt.Fprintf(w, "block ms p50 %8.3f  p95 %8.3f  p99 %8.3f  max %8.3f  n %-8d%s",
+		s.BlockMS.P50, s.BlockMS.P95, s.BlockMS.P99, s.BlockMS.Max, s.BlockMS.Count, nl)
+
+	if s.HasCounters {
+		c := s.Counters
+		fmt.Fprintf(w, "msgs app %-8d ctrl %-8d chkpts %-6d forced %-5d rollbacks %-5d%s",
+			c.AppMessages, c.CtrlMessages, c.Checkpoints, c.Forced, c.Rollbacks, nl)
+		if len(s.CounterRates) > 0 {
+			fmt.Fprintf(w, "     app %6.0f/s ctrl %6.0f/s chkpts %4.1f/s%s",
+				s.CounterRates["app_messages"], s.CounterRates["ctrl_messages"],
+				s.CounterRates["checkpoints"], nl)
+		}
+		// Chaos / net-chaos injection counts and transport watermarks from
+		// the named-counter tap, when the layers that publish them ran.
+		var chaos []string
+		for _, k := range sortedKeys(c.Custom) {
+			if strings.Contains(k, "fault") || strings.Contains(k, "chaos") ||
+				strings.Contains(k, "net_") || strings.Contains(k, "backlog") ||
+				strings.Contains(k, "suspect") || strings.Contains(k, "retry") {
+				chaos = append(chaos, fmt.Sprintf("%s %d", k, c.Custom[k]))
+			}
+		}
+		if len(chaos) > 0 {
+			fmt.Fprintf(w, "chaos: %s%s", strings.Join(chaos, "  "), nl)
+		}
+	}
+
+	fmt.Fprintf(w, "%-5s %-4s %-9s %-10s %12s %12s%s",
+		"proc", "inc", "state", "events", "vtime", "lag", nl)
+	for _, p := range s.Procs {
+		state := p.LastKind
+		switch {
+		case p.Stalled:
+			state = "STALLED"
+			if ansi {
+				state = "\x1b[1;31mSTALLED\x1b[0m  " // pad: ANSI codes are zero-width
+			}
+		case p.Halted:
+			state = "halted"
+		}
+		fmt.Fprintf(w, "p%-4d %-4d %-9s %-10d %12.4f %12.4f%s",
+			p.Proc, p.Inc, state, p.Events, p.VTime, p.Lag, nl)
+	}
+}

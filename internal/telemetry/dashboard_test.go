@@ -1,0 +1,114 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+func TestRenderSnapshotPlain(t *testing.T) {
+	a := loadedAggregator()
+	var buf bytes.Buffer
+	telemetry.RenderSnapshot(&buf, a.Snapshot(), false)
+	out := buf.String()
+	if strings.Contains(out, "\x1b[") {
+		t.Error("plain render leaked ANSI sequences")
+	}
+	for _, want := range []string{"chkpt live telemetry", "UNHEALTHY", "save ms", "block ms", "proc", "STALLED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	// One row per participating process.
+	if rows := strings.Count(out, "\np"); rows < 4 {
+		t.Errorf("want ≥4 proc rows, got %d:\n%s", rows, out)
+	}
+}
+
+func TestRenderSnapshotAnsi(t *testing.T) {
+	a := telemetry.New(telemetry.Config{Window: time.Hour})
+	a.OnEvent(obs.Event{Kind: obs.KindCompute, Proc: 0, VTime: 1})
+	a.Tick()
+	var buf bytes.Buffer
+	telemetry.RenderSnapshot(&buf, a.Snapshot(), true)
+	out := buf.String()
+	if !strings.Contains(out, "\x1b[K") {
+		t.Error("ANSI render has no erase-to-eol sequences")
+	}
+	if !strings.Contains(out, "HEALTHY") {
+		t.Errorf("healthy run not labeled:\n%s", out)
+	}
+}
+
+func TestRenderSnapshotCountersAndChaos(t *testing.T) {
+	ctr := &metrics.Counters{}
+	ctr.IncAppMessages(100)
+	ctr.IncCheckpoints(4)
+	ctr.Inc("net_faults_drop", 3)
+	ctr.Inc("store_retry", 2)
+	a := telemetry.New(telemetry.Config{Counters: ctr, Window: time.Hour})
+	a.OnEvent(obs.Event{Kind: obs.KindCompute, Proc: 0})
+	a.Tick()
+	var buf bytes.Buffer
+	telemetry.RenderSnapshot(&buf, a.Snapshot(), false)
+	out := buf.String()
+	for _, want := range []string{"msgs app", "net_faults_drop 3", "store_retry 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("counters view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDashboardFramesPlain(t *testing.T) {
+	a := telemetry.New(telemetry.Config{Window: time.Hour})
+	a.OnEvent(obs.Event{Kind: obs.KindHalt, Proc: 0})
+	a.Tick()
+	var buf bytes.Buffer
+	d := telemetry.NewDashboard(a, &buf)
+	d.Plain = true
+	d.Frame()
+	d.Frame()
+	if n := strings.Count(buf.String(), "---- telemetry frame ----"); n != 2 {
+		t.Errorf("want 2 frame markers, got %d", n)
+	}
+}
+
+func TestDashboardRunUntil(t *testing.T) {
+	a := telemetry.New(telemetry.Config{Window: time.Hour})
+	a.OnEvent(obs.Event{Kind: obs.KindCompute, Proc: 0})
+	var buf syncBuffer
+	d := telemetry.NewDashboard(a, &buf)
+	d.Plain = true
+	d.Refresh = time.Millisecond
+	stop := d.RunUntil()
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	if !strings.Contains(buf.String(), "chkpt live telemetry") {
+		t.Error("dashboard never rendered")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the ticker test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,9 @@
+package telemetry
+
+import "math"
+
+// floatBits / floatFrom are the bit-pattern codec for float64 values kept
+// in atomic.Uint64 cells. Virtual times are non-negative, so the encoded
+// ordering matches numeric ordering and CAS-with-compare stays exact.
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,57 @@
+package telemetry_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// BenchmarkRunTapOverhead measures what live telemetry costs a whole run:
+// the same Jacobi program executed with no observer, with the aggregator
+// tapping every event, and with aggregator + counters tap. The deltas are
+// the published observer-tap overhead numbers (EXPERIMENTS.md).
+func BenchmarkRunTapOverhead(b *testing.B) {
+	run := func(b *testing.B, cfg func() sim.Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	base := func() sim.Config {
+		return sim.Config{
+			Program:      corpus.JacobiFig1(8),
+			Nproc:        4,
+			DisableTrace: true,
+		}
+	}
+	b.Run("none", func(b *testing.B) {
+		run(b, base)
+	})
+	b.Run("aggregator", func(b *testing.B) {
+		agg := telemetry.New(telemetry.Config{Nproc: 4, Window: time.Hour})
+		run(b, func() sim.Config {
+			c := base()
+			c.Observer = agg
+			return c
+		})
+	})
+	b.Run("aggregator+counters", func(b *testing.B) {
+		ctr := &metrics.Counters{}
+		agg := telemetry.New(telemetry.Config{Nproc: 4, Window: time.Hour, Counters: ctr})
+		run(b, func() sim.Config {
+			c := base()
+			c.Observer = agg
+			c.Counters = ctr
+			return c
+		})
+	})
+}
+
+var _ obs.Observer = (*telemetry.Aggregator)(nil)

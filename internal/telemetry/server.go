@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the pull-based exposition endpoint for one aggregator:
+//
+//	/metrics        Prometheus text format (0.0.4)
+//	/snapshot.json  the full Snapshot as JSON
+//	/healthz        200 "ok" when Healthy(), 503 otherwise
+//	/               a one-line index
+//
+// Pull keeps the run free of any scraper-side coupling: the aggregator
+// never blocks on a slow consumer, and killing the scraper costs nothing.
+type Server struct {
+	agg  *Aggregator
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer binds addr (e.g. "127.0.0.1:9464", or ":0" for an ephemeral
+// port) and starts serving the aggregator. It returns once the listener is
+// live; call Close to shut it down.
+func NewServer(addr string, agg *Aggregator) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{agg: agg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/", s.handleIndex)
+	s.http = &http.Server{
+		Handler:      mux,
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	go func() { _ = s.http.Serve(ln) }() // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.http.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteProm(w, s.agg.Snapshot())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.agg.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.agg.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if snap.Healthy() {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, "unhealthy: stalled_procs=%d in_storm=%v\n",
+		snap.Health.StalledProcs, snap.Health.InStorm)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "chkpt telemetry: /metrics /snapshot.json /healthz")
+}

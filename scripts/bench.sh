@@ -45,4 +45,11 @@ run_set simcore \
     BENCH_simcore.json \
     ./internal/sim/ ./internal/metrics/ .
 
+# Telemetry: the aggregator's observer-tap hot path (must stay ≤1 alloc/op)
+# and the sketch observe/quantile paths it leans on.
+run_set telemetry \
+    'BenchmarkAggregatorIngest|BenchmarkSketch|BenchmarkRunTapOverhead' \
+    BENCH_telemetry.json \
+    ./internal/telemetry/ ./internal/metrics/
+
 echo 'bench OK'

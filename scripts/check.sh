@@ -31,6 +31,9 @@ go test -race -run 'TestChaosSoak' -count=1 .
 echo '>> network chaos soak (go test -race -run TestNetChaosSoak -count=1 .)'
 go test -race -run 'TestNetChaosSoak' -count=1 .
 
+echo '>> telemetry smoke (scripts/telemetry_smoke.sh)'
+./scripts/telemetry_smoke.sh
+
 # Opt-in: the benchmark harness is slow relative to the rest of the check
 # and its numbers are machine-dependent, so it only runs when asked for.
 if [ "${CHECK_BENCH:-0}" = "1" ]; then

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Telemetry smoke test: boots chkptsim with the live telemetry endpoint on
+# an ephemeral port, then drives telemetryprobe (the repo's own stdlib
+# scraper — no curl/wget dependence) against /metrics, /snapshot.json and
+# /healthz. Exercises the full pull path CI-side: aggregator → exposition
+# server → external scrape.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '>> building chkptsim + telemetryprobe'
+SIM=/tmp/chkptsim.$$
+PROBE=/tmp/telemetryprobe.$$
+ERR=/tmp/telemetry_smoke_err.$$
+PROG=/tmp/telemetry_smoke_prog.$$
+SIM_PID=
+trap 'rm -f "$SIM" "$PROBE" "$ERR" "$PROG"; [ -n "$SIM_PID" ] && kill "$SIM_PID" 2>/dev/null || true' EXIT
+go build -o "$SIM" ./cmd/chkptsim
+go build -o "$PROBE" ./cmd/telemetryprobe
+
+cat > "$PROG" <<'MPL'
+program jacobi
+const MAXITER = 6
+var x, y, iter
+proc {
+    iter = 0
+    while iter < MAXITER {
+        if rank % 2 == 0 {
+            chkpt
+            send(rank + 1, x)
+            recv(rank + 1, y)
+        } else {
+            recv(rank - 1, y)
+            send(rank - 1, x)
+            chkpt
+        }
+        iter = iter + 1
+    }
+}
+MPL
+
+echo '>> starting chkptsim with -telemetry-addr 127.0.0.1:0'
+"$SIM" -n 4 -transform -telemetry-addr 127.0.0.1:0 -telemetry-linger 10s \
+    "$PROG" >/dev/null 2>"$ERR" &
+SIM_PID=$!
+
+# The ephemeral port is announced on stderr before the run starts.
+URL=
+i=0
+while [ $i -lt 100 ]; do
+    URL=$(sed -n 's|.*telemetry at \(http://[^/]*\)/metrics.*|\1|p' "$ERR" | head -n 1)
+    [ -n "$URL" ] && break
+    if ! kill -0 "$SIM_PID" 2>/dev/null; then
+        echo 'chkptsim exited before announcing the telemetry URL:' >&2
+        cat "$ERR" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$URL" ]; then
+    echo 'telemetry URL never announced:' >&2
+    cat "$ERR" >&2
+    exit 1
+fi
+
+echo ">> probing $URL"
+"$PROBE" -url "$URL" -timeout 5s -min-events 1 \
+    -want chkptsim_events_total,chkptsim_healthy,chkptsim_counter_total,chkptsim_proc_events_total,chkptsim_health_stalls_total
+
+kill "$SIM_PID" 2>/dev/null || true
+wait "$SIM_PID" 2>/dev/null || true
+SIM_PID=
+
+echo 'telemetry smoke OK'
