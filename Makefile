@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt bench chaos netchaos verify fuzz telemetry
+.PHONY: all build vet test race check fmt bench chaos netchaos verify fuzz telemetry fleet
 
 all: check
 
@@ -60,3 +60,10 @@ chaos:
 # SOAK_SEEDS=<n> overrides the per-profile seed count.
 netchaos:
 	$(GO) test -race -run 'TestNetChaosSoak' -count=1 -v .
+
+# fleet runs the fleet-engine soak: >= 1000 concurrent checkpointed jobs
+# against one shared store under storage/crash/network chaos, with exact
+# taxonomy conservation, graceful drain, and circuit-breaker recovery,
+# under the race detector. SOAK_SEEDS=<n> overrides the chaos-seed count.
+fleet:
+	$(GO) test -race -run 'TestFleetSoak' -count=1 -v .

@@ -1,0 +1,281 @@
+// Command chkptfleet drives a fleet of concurrent checkpointed jobs
+// against one shared store, exercising the robustness stack end to end:
+// open-loop Poisson arrivals, per-tenant quotas and admission control,
+// budgeted retries, a circuit breaker over the shared storage, and
+// graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	chkptfleet -jobs 1000 [-rate 500] [-nproc 3] [-iters 3]
+//	           [-max-inflight 32] [-tenants 'batch:8:3,interactive::1']
+//	           [-seed 1] [-storage-fault-rate 0.05] [-crash-rate 0.5]
+//	           [-net-fault-rate 0.02] [-business-rate 0.01]
+//	           [-breaker-threshold 5] [-breaker-cooldown 50ms]
+//	           [-retry-budget 4] [-drain-timeout 30s] [-job-timeout 30s]
+//	           [-drain-after 0] [-store mem] [-events-out fleet.jsonl]
+//	           [-telemetry-addr 127.0.0.1:9464] [-telemetry-window 250ms]
+//	           [-dash] [-q]
+//
+// Each tenant is NAME[:QUOTA[:WEIGHT]]; an empty quota means unbounded
+// (the fleet-wide -max-inflight cap still applies) and weight biases the
+// arrival draw. -rate 0 generates arrivals back to back (closed only by
+// admission). -drain-after begins graceful drain on a timer — the same
+// path a SIGTERM takes — which is how CI exercises shutdown without
+// signals.
+//
+// The run exits non-zero if the taxonomy is violated (an admitted job
+// missing from succeeded/infra_failed/business_failed/parked — a silent
+// loss) or if telemetry artifacts cannot be flushed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	// SIGINT/SIGTERM begin graceful drain: stop admitting, give in-flight
+	// jobs the drain timeout, park the rest, then report and exit through
+	// the ordinary path so telemetry still flushes.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sigs))
+}
+
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) (code int) {
+	fs := flag.NewFlagSet("chkptfleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jobs       = fs.Int("jobs", 100, "arrivals to generate")
+		rate       = fs.Float64("rate", 0, "open-loop Poisson arrival rate in jobs/second (0 = back to back)")
+		nproc      = fs.Int("nproc", 3, "processes per job")
+		iters      = fs.Int("iters", 3, "Jacobi iterations per job")
+		maxInFl    = fs.Int("max-inflight", 32, "fleet-wide concurrent-job cap (admission control)")
+		tenantsStr = fs.String("tenants", "", "tenants as NAME[:QUOTA[:WEIGHT]], comma-separated (empty = one unbounded tenant)")
+		seed       = fs.Int64("seed", 1, "seed for arrivals, tenants, chaos, and business verdicts (same seed, same fleet)")
+		faultRate  = fs.Float64("storage-fault-rate", 0, "storage chaos rate on the SHARED store in [0,1]")
+		crashRate  = fs.Float64("crash-rate", 0, "expected injected crashes per job (Poisson)")
+		netRate    = fs.Float64("net-fault-rate", 0, "per-job network chaos rate in [0,1] (drop/dup/reorder)")
+		bizRate    = fs.Float64("business-rate", 0, "fraction of jobs ending in a simulated business failure")
+		brkThresh  = fs.Int("breaker-threshold", 0, "consecutive transient store failures that open the breaker (0 = default)")
+		brkCool    = fs.Duration("breaker-cooldown", 0, "how long the open breaker sheds before probing (0 = default)")
+		retryBudg  = fs.Int64("retry-budget", 0, "retry tokens deposited per admitted job into its tenant's budget (0 = default, negative disables budgets)")
+		drainTmo   = fs.Duration("drain-timeout", 30*time.Second, "how long drain waits for in-flight jobs before cancel-parking them")
+		jobTmo     = fs.Duration("job-timeout", 30*time.Second, "per-job watchdog timeout")
+		drainAfter = fs.Duration("drain-after", 0, "begin graceful drain after this long (0 = only on signal/stream end)")
+		storeKind  = fs.String("store", "mem", "shared stable storage: mem, or a directory path for the file store")
+		eventsOut  = fs.String("events-out", "", "stream structured JSONL fleet+runtime events to this file")
+		telAddr    = fs.String("telemetry-addr", "", "serve live telemetry on this address: /metrics, /snapshot.json, /healthz")
+		telWindow  = fs.Duration("telemetry-window", 250*time.Millisecond, "telemetry aggregation window")
+		dash       = fs.Bool("dash", false, "render a live telemetry dashboard to stderr")
+		quiet      = fs.Bool("q", false, "suppress the per-run banner (report still prints)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: chkptfleet [flags] (no positional arguments)")
+		fs.PrintDefaults()
+		return 2
+	}
+	tenants, err := parseTenants(*tenantsStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "chkptfleet:", err)
+		return 2
+	}
+
+	// fail reports a flush/teardown error and forces a failing exit code
+	// from the deferred close paths below.
+	fail := func(err error) {
+		fmt.Fprintln(stderr, "chkptfleet:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+
+	var store storage.Store
+	if *storeKind != "mem" {
+		fileStore, err := storage.NewFile(*storeKind)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptfleet:", err)
+			return 1
+		}
+		store = fileStore
+	}
+
+	var observers []obs.Observer
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptfleet:", err)
+			return 1
+		}
+		stream := obs.NewStreamWriter(bufferedFile{bufio.NewWriterSize(f, 64<<10), f})
+		stream.AutoFlush(200 * time.Millisecond)
+		defer func() {
+			if err := stream.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		observers = append(observers, stream)
+	}
+
+	counters := &metrics.Counters{}
+	observer := obs.Multi(observers...)
+	if *telAddr != "" || *dash {
+		agg := telemetry.New(telemetry.Config{
+			Nproc:    *nproc,
+			Window:   *telWindow,
+			Counters: counters,
+			Sink:     observer,
+		})
+		observer = obs.Multi(observer, agg)
+		stopTick := agg.Start()
+		if *telAddr != "" {
+			srv, err := telemetry.NewServer(*telAddr, agg)
+			if err != nil {
+				fmt.Fprintln(stderr, "chkptfleet:", err)
+				stopTick()
+				return 1
+			}
+			fmt.Fprintf(stderr, "chkptfleet: telemetry at %s/metrics\n", srv.URL())
+			defer func() {
+				if err := srv.Close(); err != nil {
+					fail(err)
+				}
+			}()
+		}
+		var stopDash func()
+		if *dash {
+			stopDash = telemetry.NewDashboard(agg, stderr).RunUntil()
+		}
+		defer func() {
+			stopTick()
+			agg.Tick() // close the final partial window
+			if stopDash != nil {
+				stopDash()
+			}
+		}()
+	}
+
+	e := fleet.New(fleet.Config{
+		Jobs:             *jobs,
+		Nproc:            *nproc,
+		Iters:            *iters,
+		ArrivalRate:      *rate,
+		MaxInFlight:      *maxInFl,
+		Tenants:          tenants,
+		Seed:             *seed,
+		StorageFaultRate: *faultRate,
+		CrashLambda:      *crashRate,
+		NetFaultRate:     *netRate,
+		BusinessFailRate: *bizRate,
+		Breaker: fleet.BreakerConfig{
+			FailureThreshold: *brkThresh,
+			Cooldown:         *brkCool,
+		},
+		RetryBudgetPerJob: *retryBudg,
+		Store:             store,
+		DrainTimeout:      *drainTmo,
+		JobTimeout:        *jobTmo,
+		Observer:          observer,
+		Counters:          counters,
+	})
+
+	// Drain triggers: an OS signal, or the -drain-after timer (CI's way to
+	// exercise the shutdown path deterministically). Engine.Drain is
+	// idempotent, so the two can race freely.
+	stopSignals := make(chan struct{})
+	defer close(stopSignals)
+	go func() {
+		var timer <-chan time.Time
+		if *drainAfter > 0 {
+			timer = time.After(*drainAfter)
+		}
+		select {
+		case <-sigs:
+			fmt.Fprintln(stderr, "chkptfleet: signal received; draining")
+			e.Drain()
+		case <-timer:
+			fmt.Fprintln(stderr, "chkptfleet: drain timer fired; draining")
+			e.Drain()
+		case <-stopSignals:
+		}
+	}()
+
+	if !*quiet {
+		fmt.Fprintf(stderr, "chkptfleet: %d jobs, rate=%g/s, inflight<=%d, %d tenant(s), seed=%d\n",
+			*jobs, *rate, *maxInFl, max(1, len(tenants)), *seed)
+	}
+	rep, err := e.Run()
+	fmt.Fprint(stdout, rep.String())
+	if err != nil {
+		// Conservation violation: an admitted job is missing from the
+		// taxonomy — a silent loss. Never exit 0 on that.
+		fmt.Fprintln(stderr, "chkptfleet:", err)
+		return 1
+	}
+	return 0
+}
+
+// parseTenants parses NAME[:QUOTA[:WEIGHT]],... ("batch:8:3,interactive::1").
+func parseTenants(s string) ([]fleet.TenantConfig, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []fleet.TenantConfig
+	seen := make(map[string]bool)
+	for _, spec := range strings.Split(s, ",") {
+		parts := strings.Split(spec, ":")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("tenant %q: want NAME[:QUOTA[:WEIGHT]]", spec)
+		}
+		t := fleet.TenantConfig{Name: strings.TrimSpace(parts[0])}
+		if t.Name == "" {
+			return nil, fmt.Errorf("tenant %q: empty name", spec)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("tenant %q: duplicate name", t.Name)
+		}
+		seen[t.Name] = true
+		if len(parts) > 1 && strings.TrimSpace(parts[1]) != "" {
+			q, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: bad quota: %v", spec, err)
+			}
+			t.Quota = q
+		}
+		if len(parts) > 2 && strings.TrimSpace(parts[2]) != "" {
+			w, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: bad weight: %v", spec, err)
+			}
+			t.Weight = w
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// bufferedFile routes stream writes through a bufio buffer while letting
+// StreamWriter.Close flush it and close the underlying file.
+type bufferedFile struct {
+	*bufio.Writer
+	f *os.File
+}
+
+func (b bufferedFile) Close() error { return b.f.Close() }

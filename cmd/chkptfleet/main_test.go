@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func runFleet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	sigs := make(chan os.Signal)
+	code = run(args, &out, &errb, sigs)
+	return code, out.String(), errb.String()
+}
+
+func TestSmallFleetConservedExitsZero(t *testing.T) {
+	code, out, stderr := runFleet(t, "-jobs", "15", "-max-inflight", "16", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "conserved          true") {
+		t.Fatalf("report missing conservation line:\n%s", out)
+	}
+	if !regexp.MustCompile(`succeeded\s+15\b`).MatchString(out) {
+		t.Fatalf("report missing 15 successes:\n%s", out)
+	}
+}
+
+func TestChaosFleetStillConserved(t *testing.T) {
+	code, out, stderr := runFleet(t,
+		"-jobs", "30", "-max-inflight", "8", "-seed", "11",
+		"-storage-fault-rate", "0.05", "-crash-rate", "0.5",
+		"-business-rate", "0.2", "-tenants", "batch:4:3,interactive::1")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "conserved          true") {
+		t.Fatalf("chaos fleet not conserved:\n%s", out)
+	}
+}
+
+func TestDrainAfterTimerCutsStreamShort(t *testing.T) {
+	// A paced arrival stream far larger than the test budget; the drain
+	// timer (the same path a SIGTERM takes) must cut it short, and the CLI
+	// must still exit 0 with the books balanced.
+	code, out, stderr := runFleet(t,
+		"-jobs", "1000000", "-rate", "2000", "-seed", "3",
+		"-drain-after", "40ms")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(stderr, "drain timer fired") {
+		t.Fatalf("drain timer did not fire:\n%s", stderr)
+	}
+	m := regexp.MustCompile(`fleet: (\d+) arrivals`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no arrivals line:\n%s", out)
+	}
+	if n, _ := strconv.Atoi(m[1]); n >= 1000000 {
+		t.Fatalf("drain did not stop the stream: %d arrivals", n)
+	}
+	if !strings.Contains(out, "conserved          true") {
+		t.Fatalf("drained fleet not conserved:\n%s", out)
+	}
+}
+
+func TestEventsOutAndFileStore(t *testing.T) {
+	dir := t.TempDir()
+	events := dir + "/fleet.jsonl"
+	code, out, stderr := runFleet(t,
+		"-jobs", "5", "-seed", "2", "-store", dir+"/snaps", "-events-out", events)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	b, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{`"admit"`, `"jobdone"`, `"drain"`} {
+		if !strings.Contains(string(b), kind) {
+			t.Errorf("events stream missing %s events", kind)
+		}
+	}
+	// The file store persisted namespaced snapshots.
+	fis, err := os.ReadDir(dir + "/snaps")
+	if err != nil || len(fis) == 0 {
+		t.Fatalf("file store empty: %v (%d entries)", err, len(fis))
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	if code, _, _ := runFleet(t, "-jobs", "nope"); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if code, _, _ := runFleet(t, "positional"); code != 2 {
+		t.Fatalf("positional arg exit = %d, want 2", code)
+	}
+	if code, _, stderr := runFleet(t, "-tenants", "a:bad"); code != 2 || !strings.Contains(stderr, "bad quota") {
+		t.Fatalf("bad tenants exit = %d stderr=%q, want 2", code, stderr)
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	got, err := parseTenants("batch:8:3, interactive::0.5 ,best-effort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fleet.TenantConfig{
+		{Name: "batch", Quota: 8, Weight: 3},
+		{Name: "interactive", Weight: 0.5},
+		{Name: "best-effort"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tenant %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := parseTenants("a,a"); err == nil {
+		t.Error("duplicate tenant accepted")
+	}
+	if _, err := parseTenants(":3"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := parseTenants("a:1:2:3"); err == nil {
+		t.Error("over-long spec accepted")
+	}
+	if ts, err := parseTenants("  "); err != nil || ts != nil {
+		t.Errorf("blank spec = %v, %v", ts, err)
+	}
+}
+
+func TestTelemetryServerServesFleetGauges(t *testing.T) {
+	// Ephemeral-port telemetry must come up, serve the fleet gauges, and
+	// shut down cleanly through the deferred close path.
+	code, out, stderr := runFleet(t,
+		"-jobs", "10", "-seed", "9", "-telemetry-addr", "127.0.0.1:0",
+		"-telemetry-window", "20ms")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(stderr, "telemetry at http://") {
+		t.Fatalf("no telemetry banner:\n%s", stderr)
+	}
+}

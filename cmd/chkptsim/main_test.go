@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -267,6 +268,32 @@ func TestOutputErrorPathsExitNonzero(t *testing.T) {
 				t.Errorf("no error reported: %q", errb.String())
 			}
 		})
+	}
+}
+
+// TestEventsOutFlushFailureExitsNonzero: an -events-out file that opens
+// fine but cannot take the final flush (ENOSPC, modelled by /dev/full)
+// must fail the command, not silently drop the tail of the history. The
+// run itself succeeds — only the deferred Close path sees the error.
+func TestEventsOutFlushFailureExitsNonzero(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("/dev/full is Linux-specific")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full unavailable")
+	}
+	path := writeTemp(t, fig2Src)
+	var out, errb strings.Builder
+	code := run([]string{"-n", "2", "-transform", "-events-out", "/dev/full", path}, &out, &errb)
+	if code == 0 {
+		t.Errorf("exit = 0 with full events-out device\nstderr: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "chkptsim:") {
+		t.Errorf("flush failure not reported: %q", errb.String())
+	}
+	// The run's own output still happened: the failure is ONLY the flush.
+	if !strings.Contains(out.String(), "metrics:") {
+		t.Errorf("run output missing, flush failure masked the run: %q", out.String())
 	}
 }
 

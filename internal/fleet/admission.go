@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// TenantConfig describes one tenant of the fleet.
+type TenantConfig struct {
+	// Name identifies the tenant in metrics, events, and rejections.
+	Name string
+	// Quota bounds the tenant's concurrent in-flight jobs; <= 0 means no
+	// per-tenant bound (the fleet-wide cap still applies).
+	Quota int
+	// Weight biases the arrival draw toward this tenant (engine-side);
+	// <= 0 counts as 1.
+	Weight float64
+}
+
+// Admission is the fleet's front door: a fixed-capacity, per-tenant-quota
+// gate that answers immediately. Admit or reject — never queue: a queue in
+// front of a saturated fleet only converts overload into latency collapse
+// and, eventually, lost work. Rejected arrivals are counted, published as
+// obs events, and dropped; open-loop callers simply keep arriving.
+type Admission struct {
+	counters *metrics.Counters
+	obsv     obs.Observer
+
+	mu       sync.Mutex
+	max      int // fleet-wide in-flight cap; <= 0 means unbounded
+	inflight int
+	quotas   map[string]int // tenant -> quota (<= 0 absent)
+	byTenant map[string]int // tenant -> in-flight
+	draining bool
+	rejected int64
+}
+
+// NewAdmission builds the gate. maxInFlight <= 0 disables the fleet-wide
+// cap (tenant quotas still apply).
+func NewAdmission(maxInFlight int, tenants []TenantConfig, counters *metrics.Counters, obsv obs.Observer) *Admission {
+	a := &Admission{
+		counters: counters,
+		obsv:     obsv,
+		max:      maxInFlight,
+		quotas:   make(map[string]int),
+		byTenant: make(map[string]int),
+	}
+	for _, t := range tenants {
+		if t.Quota > 0 {
+			a.quotas[t.Name] = t.Quota
+		}
+	}
+	a.gauges()
+	return a
+}
+
+// gauges publishes fleet_active_jobs and fleet_rejected. Callers hold mu
+// (or are in New).
+func (a *Admission) gauges() {
+	if a.counters != nil {
+		a.counters.SetGauge("fleet_active_jobs", float64(a.inflight))
+		a.counters.SetGauge("fleet_rejected", float64(a.rejected))
+	}
+}
+
+// TryAdmit asks to start one job for tenant. On success it returns a
+// release function (call exactly once, when the job reaches a terminal
+// bucket). On refusal it returns a *AdmissionError wrapping
+// ErrAdmissionRejected — immediately, never blocking.
+func (a *Admission) TryAdmit(tenant string) (release func(), err error) {
+	a.mu.Lock()
+	reason := ""
+	switch {
+	case a.draining:
+		reason = ReasonDraining
+	case a.max > 0 && a.inflight >= a.max:
+		reason = ReasonFleetCapacity
+	default:
+		if q, ok := a.quotas[tenant]; ok && a.byTenant[tenant] >= q {
+			reason = ReasonTenantQuota
+		}
+	}
+	if reason != "" {
+		a.rejected++
+		a.gauges()
+		a.mu.Unlock()
+		if a.counters != nil {
+			a.counters.Inc("fleet_rejected_total", 1)
+			a.counters.Inc("fleet_rejected_"+reason, 1)
+		}
+		if a.obsv != nil {
+			a.obsv.OnEvent(obs.Event{Kind: obs.KindReject, Proc: -1, Tag: tenant, Label: reason})
+		}
+		return nil, &AdmissionError{Tenant: tenant, Reason: reason}
+	}
+	a.inflight++
+	a.byTenant[tenant]++
+	a.gauges()
+	a.mu.Unlock()
+	if a.counters != nil {
+		a.counters.Inc("fleet_admitted", 1)
+	}
+	if a.obsv != nil {
+		a.obsv.OnEvent(obs.Event{Kind: obs.KindAdmit, Proc: -1, Tag: tenant})
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight--
+			a.byTenant[tenant]--
+			a.gauges()
+			a.mu.Unlock()
+		})
+	}, nil
+}
+
+// StartDrain flips the gate into draining: every further TryAdmit is
+// rejected with ReasonDraining. In-flight jobs are unaffected.
+func (a *Admission) StartDrain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// Active returns the current in-flight job count.
+func (a *Admission) Active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// BenchmarkFleetThroughput measures end-to-end fleet job throughput on a
+// clean shared store: admission, namespacing, the breaker fast path, the
+// full checkpointed sim run, and taxonomy accounting per op.
+func BenchmarkFleetThroughput(b *testing.B) {
+	// MaxInFlight = b.N so back-to-back arrivals are all ADMITTED and
+	// ns/op means per-job cost of the saturated batch; with a smaller cap
+	// the open-loop arrival stream would outrun the workers and the bench
+	// would mostly measure rejections.
+	e := New(Config{Jobs: b.N, MaxInFlight: b.N, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := e.Run()
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Admitted != int64(b.N) {
+		b.Fatalf("admitted %d of %d", rep.Admitted, b.N)
+	}
+	b.ReportMetric(rep.JobsPerSec, "jobs/s")
+}
+
+// BenchmarkFleetChaosThroughput is the same fleet under storage chaos:
+// the price of retries, breaker accounting, and crash-recovery traffic.
+func BenchmarkFleetChaosThroughput(b *testing.B) {
+	e := New(Config{
+		Jobs: b.N, MaxInFlight: b.N, Seed: 1,
+		StorageFaultRate: 0.04, CrashLambda: 0.4,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := e.Run()
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rep.JobsPerSec, "jobs/s")
+}
+
+// BenchmarkBreakerClosedPath measures the breaker's per-op overhead on the
+// hot (closed, healthy) path that every storage operation in the fleet
+// pays.
+func BenchmarkBreakerClosedPath(b *testing.B) {
+	br := NewBreaker(nopStore{}, BreakerConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Latest(0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type nopStore struct{ storage.Store }
+
+func (nopStore) Latest(proc, cfgIndex int) (storage.Snapshot, error) {
+	return storage.Snapshot{}, nil
+}

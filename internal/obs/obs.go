@@ -22,7 +22,8 @@
 //
 //	kind    string  event kind: send, recv, chkpt, compute, block,
 //	                rollback, restart, halt, fault, retry, scrub, degraded,
-//	                netfault, suspect, backlog, heal, stall, storm, lag
+//	                netfault, suspect, backlog, heal, stall, storm, lag,
+//	                admit, reject, jobdone, breaker, drain
 //	proc    int     process rank; -1 for run-level events
 //	inc     int     incarnation (0 until the first recovery)
 //	seq     int     position in the (inc, proc) local history
@@ -79,6 +80,17 @@ const (
 	KindStall Kind = "stall" // no forward progress from a process for N aggregation windows
 	KindStorm Kind = "storm" // rollback storm: repeated rollbacks within the detector's horizon
 	KindLag   Kind = "lag"   // checkpoint lag: virtual time since a process's last completed save crossed the threshold
+	// Fleet kinds: the fleet engine (internal/fleet) publishes job
+	// admissions, rejections, terminal classifications, circuit-breaker
+	// transitions, and drain lifecycle into the same stream, so one
+	// recorder or telemetry aggregator sees the whole fleet's story. Fleet
+	// events carry Proc = -1 (they concern jobs, not a job's processes)
+	// and the job id in Inc where meaningful.
+	KindAdmit   Kind = "admit"   // job admitted (Tag: tenant)
+	KindReject  Kind = "reject"  // admission rejected (Tag: tenant, Label: reason)
+	KindJobDone Kind = "jobdone" // admitted job reached a terminal bucket (Tag: bucket)
+	KindBreaker Kind = "breaker" // circuit breaker transition (Label: from->to)
+	KindDrain   Kind = "drain"   // drain lifecycle (Label: begin/park/done)
 )
 
 // MsgRef identifies an application message (sender, receiver, per-channel

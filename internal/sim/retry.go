@@ -22,6 +22,10 @@ const (
 	// MetricStoreRetryExhausted counts storage operations that kept
 	// failing transiently through every backoff attempt.
 	MetricStoreRetryExhausted = "storage_retry_exhausted"
+	// MetricStoreRetryDenied counts retries a RetryBudget refused to fund:
+	// the operation gave up early so a fleet-wide brownout does not
+	// multiply into a retry storm.
+	MetricStoreRetryDenied = "storage_retry_budget_denied"
 	// MetricRecoveryDegraded accumulates recovery.Line.Degraded: candidate
 	// recovery cuts skipped because their snapshots would not load.
 	MetricRecoveryDegraded = "recovery_degraded"
@@ -34,14 +38,89 @@ const (
 	MetricSaveCrashes = "chkpt_save_crashes"
 )
 
-// Retry tuning: capped exponential backoff with ±50% jitter. The base is
-// small because simulated storage faults clear quickly; the cap bounds
-// recovery latency when a fault burst hits every attempt.
+// Default retry tuning: capped exponential backoff with ±50% jitter. The
+// base is small because simulated storage faults clear quickly; the cap
+// bounds recovery latency when a fault burst hits every attempt.
 const (
 	defaultStoreAttempts = 6
-	retryBaseDelay       = 1 * stdtime.Millisecond
-	retryMaxDelay        = 50 * stdtime.Millisecond
+	defaultRetryBase     = 1 * stdtime.Millisecond
+	defaultRetryCap      = 50 * stdtime.Millisecond
+	defaultJitterFrac    = 0.5
 )
+
+// RetryBudget gates retries beyond the per-operation attempt cap. A fleet
+// driver hands every job of one tenant the same budget, so a storage
+// brownout hitting a thousand jobs at once costs a bounded number of
+// retries fleet-wide instead of a thousand independent backoff storms.
+// Implementations must be safe for concurrent use.
+type RetryBudget interface {
+	// AllowRetry reports whether one more retry of op may be spent. A
+	// denial converts the pending transient error into immediate
+	// exhaustion (the operation fails as if every attempt were used).
+	AllowRetry(op string) bool
+}
+
+// RetryPolicy is the tunable shape of the storage retry layer: how many
+// attempts a transiently-failing operation gets, how the backoff between
+// them grows, how much seeded jitter decorrelates concurrent retries, and
+// (optionally) a shared budget that may cut retries short. The zero value
+// selects the defaults the runtime has always used (6 attempts, 1ms base
+// doubling to a 50ms cap, ±50% jitter, no budget).
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per operation (first try included).
+	// <= 0 selects the default (6); 1 disables retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. <= 0 selects the default (1ms).
+	BaseDelay stdtime.Duration
+	// MaxDelay caps the backoff growth. <= 0 selects the default (50ms).
+	MaxDelay stdtime.Duration
+	// JitterFrac perturbs each backoff by ±JitterFrac (0.5 = ±50%). 0
+	// selects the default (0.5); negative disables jitter entirely.
+	JitterFrac float64
+	// Budget, when non-nil, is consulted before every retry; a denial
+	// stops retrying immediately. Nil means attempts alone bound retry.
+	Budget RetryBudget
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = defaultStoreAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = defaultRetryBase
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = defaultRetryCap
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = defaultJitterFrac
+	}
+	if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	}
+	return p
+}
+
+// Backoff returns the pre-jitter delay before retry attempt `retry`
+// (1-based: Backoff(1) precedes the first retry): BaseDelay doubled per
+// step, capped at MaxDelay. Exposed so tests and capacity models can audit
+// the exact schedule a policy produces.
+func (p RetryPolicy) Backoff(retry int) stdtime.Duration {
+	p = p.withDefaults()
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
 
 // retryStore wraps the run's stable storage with bounded retry on
 // transient faults (storage.ErrTransient): capped exponential backoff plus
@@ -51,7 +130,7 @@ const (
 // handles them by degrading.
 type retryStore struct {
 	inner    storage.Store
-	attempts int
+	policy   RetryPolicy
 	counters *metrics.Counters
 	obsv     obs.Observer
 
@@ -61,15 +140,13 @@ type retryStore struct {
 
 var _ storage.Store = (*retryStore)(nil)
 
-// newRetryStore wraps inner. attempts <= 0 selects the default; 1 disables
-// retry. The seed only perturbs backoff jitter (wall time), never results.
-func newRetryStore(inner storage.Store, attempts int, seed int64, counters *metrics.Counters, obsv obs.Observer) *retryStore {
-	if attempts <= 0 {
-		attempts = defaultStoreAttempts
-	}
+// newRetryStore wraps inner under the given policy (zero fields take
+// defaults). The seed only perturbs backoff jitter (wall time), never
+// results.
+func newRetryStore(inner storage.Store, policy RetryPolicy, seed int64, counters *metrics.Counters, obsv obs.Observer) *retryStore {
 	return &retryStore{
 		inner:    inner,
-		attempts: attempts,
+		policy:   policy.withDefaults(),
 		counters: counters,
 		obsv:     obsv,
 		rng:      rand.New(rand.NewSource(seed)),
@@ -79,10 +156,14 @@ func newRetryStore(inner storage.Store, attempts int, seed int64, counters *metr
 // do runs op with retry-on-transient. It returns the final error, still
 // matching storage.ErrTransient when every attempt failed transiently.
 func (r *retryStore) do(op string, f func() error) error {
-	backoff := retryBaseDelay
 	var err error
-	for attempt := 0; attempt < r.attempts; attempt++ {
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if b := r.policy.Budget; b != nil && !b.AllowRetry(op) {
+				r.counters.Inc(MetricStoreRetryDenied, 1)
+				r.counters.Inc(MetricStoreRetryExhausted, 1)
+				return fmt.Errorf("sim: storage %s retry budget exhausted after %d attempts: %w", op, attempt, err)
+			}
 			r.counters.Inc(MetricStoreRetries, 1)
 			if r.obsv != nil {
 				r.obsv.OnEvent(obs.Event{
@@ -90,11 +171,7 @@ func (r *retryStore) do(op string, f func() error) error {
 					Tag: op, Label: err.Error(),
 				})
 			}
-			stdtime.Sleep(r.jittered(backoff))
-			backoff *= 2
-			if backoff > retryMaxDelay {
-				backoff = retryMaxDelay
-			}
+			stdtime.Sleep(r.jittered(r.policy.Backoff(attempt)))
 		}
 		err = f()
 		if err == nil || !errors.Is(err, storage.ErrTransient) {
@@ -102,14 +179,17 @@ func (r *retryStore) do(op string, f func() error) error {
 		}
 	}
 	r.counters.Inc(MetricStoreRetryExhausted, 1)
-	return fmt.Errorf("sim: storage %s failed after %d attempts: %w", op, r.attempts, err)
+	return fmt.Errorf("sim: storage %s failed after %d attempts: %w", op, r.policy.MaxAttempts, err)
 }
 
-// jittered perturbs d by ±50% so synchronized retries from many processes
-// spread out instead of hammering storage in lockstep.
+// jittered perturbs d by ±JitterFrac so synchronized retries from many
+// processes spread out instead of hammering storage in lockstep.
 func (r *retryStore) jittered(d stdtime.Duration) stdtime.Duration {
+	if r.policy.JitterFrac <= 0 {
+		return d
+	}
 	r.mu.Lock()
-	f := 0.5 + r.rng.Float64()
+	f := 1 - r.policy.JitterFrac + 2*r.policy.JitterFrac*r.rng.Float64()
 	r.mu.Unlock()
 	return stdtime.Duration(float64(d) * f)
 }

@@ -45,6 +45,12 @@ type VCrash struct {
 	At   float64
 }
 
+// ErrCanceled reports a run stopped early because Config.Cancel closed.
+// The store still holds every checkpoint saved so far: the job is parked,
+// not lost, and a later Run over the same store resumes from its recovery
+// line.
+var ErrCanceled = errors.New("sim: run canceled")
+
 // RecoveryFunc chooses the recovery line after a failure. The default is
 // recovery.StraightCut. Returning recovery.ErrNoRecoveryLine restarts the
 // application from its initial state.
@@ -88,8 +94,22 @@ type Config struct {
 	// attempts back off exponentially with jitter. 0 selects the default
 	// (6); 1 disables retry. A checkpoint save that exhausts its attempts
 	// crashes the saving process, turning a storage outage into an
-	// ordinary recovery instead of a failed run.
+	// ordinary recovery instead of a failed run. Shorthand for
+	// Retry.MaxAttempts; ignored when Retry is set.
 	MaxStoreAttempts int
+	// Retry, when non-nil, fully specifies the storage retry layer —
+	// attempt cap, backoff shape, jitter, and an optional shared
+	// RetryBudget (fleet drivers use the budget to bound retries across
+	// many concurrent jobs). Nil falls back to MaxStoreAttempts with
+	// default backoff.
+	Retry *RetryPolicy
+	// Cancel, when non-nil, requests early termination when closed: the
+	// run stops at the next incarnation boundary — or aborts the current
+	// incarnation mid-flight — and returns ErrCanceled. Checkpoints
+	// already saved remain in the store, so a canceled job is *parked*,
+	// not lost: a later run over the same store resumes from its recovery
+	// line. Fleet drain uses this to checkpoint-and-park in-flight jobs.
+	Cancel <-chan struct{}
 	// Recover chooses the recovery line (default recovery.StraightCut).
 	Recover RecoveryFunc
 	// DisableTrace skips event recording (benchmarks).
@@ -224,11 +244,22 @@ func Run(cfg Config) (*Result, error) {
 	// Every runtime access to stable storage goes through the retry
 	// wrapper; Result.Store and Scrub still see the caller's store
 	// directly. The seed only perturbs backoff jitter, never results.
-	rst := newRetryStore(st, cfg.MaxStoreAttempts, cfg.Jitter+0x5bd1e995, counters, cfg.Observer)
+	policy := RetryPolicy{MaxAttempts: cfg.MaxStoreAttempts}
+	if cfg.Retry != nil {
+		policy = *cfg.Retry
+	}
+	rst := newRetryStore(st, policy, cfg.Jitter+0x5bd1e995, counters, cfg.Observer)
 
 	var line *recovery.Line // nil = start from scratch
 	var restartV float64    // wall (virtual) time at which the restart begins
 	for incarnation := 0; ; incarnation++ {
+		if cfg.Cancel != nil {
+			select {
+			case <-cfg.Cancel:
+				return nil, ErrCanceled
+			default:
+			}
+		}
 		var tr *trace.Trace
 		if !cfg.DisableTrace {
 			tr = trace.NewTrace(n)
@@ -304,6 +335,22 @@ func Run(cfg Config) (*Result, error) {
 			timedOut.Store(true)
 			net.Abort()
 		})
+		// Cancellation watcher: a drain request aborts the incarnation the
+		// same way a watchdog or failure detector does — blocked receivers
+		// wake with ErrAborted — and the run returns ErrCanceled below.
+		var canceled atomic.Bool
+		var stopCancelWatch chan struct{}
+		if cfg.Cancel != nil {
+			stopCancelWatch = make(chan struct{})
+			go func() {
+				select {
+				case <-cfg.Cancel:
+					canceled.Store(true)
+					net.Abort()
+				case <-stopCancelWatch:
+				}
+			}()
+		}
 		// The heartbeat failure detector (hardened networks only) converts
 		// a silently lost peer — an unhealed partition, total ack loss —
 		// into the same abort→recover path as an injected crash.
@@ -345,6 +392,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 		watchdog.Stop()
 		stopDetector()
+		if stopCancelWatch != nil {
+			close(stopCancelWatch)
+		}
+		if fatal == nil && canceled.Load() {
+			// Park the job: keep the store as-is (checkpoints saved so far
+			// form the resume point) and report the cancellation, which
+			// takes precedence over any concurrent failure or timeout.
+			return nil, ErrCanceled
+		}
 		if failure == nil {
 			if susp := suspectErr.Load(); susp != nil {
 				// Every process exited with ErrAborted because the detector

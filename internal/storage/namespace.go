@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Namespace is a per-job view of a shared Store. A fleet runs thousands of
+// jobs against one backing store; every job numbers its processes 0..n-1
+// and its checkpoints from (index, instance) counters that restart at the
+// same values, so two jobs sharing a store raw would collide on
+// (proc, cfgIndex, instance) keys — ErrDuplicate for the loser, or worse,
+// recovery lines assembled from a stranger's snapshots. A Namespace shifts
+// the job's process numbers into a disjoint range of the backing store
+// (job*nproc .. job*nproc+nproc-1) on the way in and shifts them back on
+// the way out, so each job sees a private store while sharing the backing
+// store's durability, contention, and fault behaviour. Over the file store
+// the ranges map to disjoint p<N> filename families, so jobs cannot
+// clobber each other's checkpoint files either.
+//
+// Namespace deliberately does NOT forward the Scrubber interface: a scrub
+// quarantines damaged snapshots across the WHOLE backing store, and a
+// single job must not garbage-collect its neighbours' state. Recovery
+// copes without scrubbing — corrupt snapshots fail to load and selection
+// degrades past them; chaos-marked keys heal on re-save.
+type Namespace struct {
+	inner Store
+	base  int
+	nproc int
+}
+
+var _ Store = (*Namespace)(nil)
+
+// NewNamespace returns job's private view of inner, where the job runs
+// nproc processes. Distinct jobs (with the same nproc) get disjoint key
+// ranges; job 0 with any nproc is the identity prefix.
+func NewNamespace(inner Store, job, nproc int) (*Namespace, error) {
+	if job < 0 || nproc <= 0 {
+		return nil, fmt.Errorf("storage: namespace requires job >= 0 and nproc > 0 (got job=%d nproc=%d)", job, nproc)
+	}
+	return &Namespace{inner: inner, base: job * nproc, nproc: nproc}, nil
+}
+
+// check rejects process numbers outside the job's range: an out-of-range
+// proc would silently alias another job's keys, which is exactly the bug
+// namespaces exist to prevent.
+func (ns *Namespace) check(proc int) error {
+	if proc < 0 || proc >= ns.nproc {
+		return fmt.Errorf("storage: namespace proc %d out of range [0,%d)", proc, ns.nproc)
+	}
+	return nil
+}
+
+// Save implements Store: the snapshot lands under the job's shifted
+// process number.
+func (ns *Namespace) Save(s Snapshot) error {
+	if err := ns.check(s.Proc); err != nil {
+		return err
+	}
+	s.Proc += ns.base
+	return ns.inner.Save(s)
+}
+
+// Latest implements Store.
+func (ns *Namespace) Latest(proc, cfgIndex int) (Snapshot, error) {
+	if err := ns.check(proc); err != nil {
+		return Snapshot{}, err
+	}
+	s, err := ns.inner.Latest(proc+ns.base, cfgIndex)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s.Proc -= ns.base
+	return s, nil
+}
+
+// Get implements Store.
+func (ns *Namespace) Get(proc, cfgIndex, instance int) (Snapshot, error) {
+	if err := ns.check(proc); err != nil {
+		return Snapshot{}, err
+	}
+	s, err := ns.inner.Get(proc+ns.base, cfgIndex, instance)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s.Proc -= ns.base
+	return s, nil
+}
+
+// List implements Store.
+func (ns *Namespace) List(proc int) ([]Snapshot, error) {
+	if err := ns.check(proc); err != nil {
+		return nil, err
+	}
+	snaps, err := ns.inner.List(proc + ns.base)
+	if err != nil {
+		return nil, err
+	}
+	for i := range snaps {
+		snaps[i].Proc -= ns.base
+	}
+	return snaps, nil
+}
+
+// Indexes implements Store: the candidate straight cuts of THIS job only.
+// The backing store's own Indexes would mix every job's processes into one
+// count, so the intersection is rebuilt here from the job's per-process
+// listings.
+func (ns *Namespace) Indexes(n int) ([]int, error) {
+	if n <= 0 || n > ns.nproc {
+		return nil, fmt.Errorf("storage: namespace Indexes(%d) outside job size %d", n, ns.nproc)
+	}
+	counts := make(map[int]int)
+	for p := 0; p < n; p++ {
+		snaps, err := ns.inner.List(p + ns.base)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[int]bool)
+		for _, s := range snaps {
+			if !seen[s.CFGIndex] {
+				seen[s.CFGIndex] = true
+				counts[s.CFGIndex]++
+			}
+		}
+	}
+	var out []int
+	for idx, c := range counts {
+		if c == n {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (ns *Namespace) Delete(proc, cfgIndex, instance int) error {
+	if err := ns.check(proc); err != nil {
+		return err
+	}
+	return ns.inner.Delete(proc+ns.base, cfgIndex, instance)
+}

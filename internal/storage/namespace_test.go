@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func nsSnap(proc, idx, inst, tick int) Snapshot {
+	clk := make(vclock.VC, 4)
+	clk[proc] = uint64(tick)
+	return Snapshot{
+		Proc: proc, CFGIndex: idx, Instance: inst, Clock: clk,
+		Vars: map[string]int{"x": 1000*tick + 100*proc + 10*idx + inst},
+	}
+}
+
+func TestNamespaceTwoJobsOneStore(t *testing.T) {
+	// Regression for the fleet's shared-store collision: two jobs with
+	// identical shapes save identical (proc, index, instance) keys into one
+	// backing store. Raw sharing makes the second save ErrDuplicate;
+	// namespaced, both land, and each job reads back only its own state.
+	for _, tc := range []struct {
+		name  string
+		inner func(t *testing.T) Store
+	}{
+		{"memory", func(t *testing.T) Store { return NewMemory() }},
+		{"file", func(t *testing.T) Store {
+			st, err := NewFile(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inner := tc.inner(t)
+			jobA, err := NewNamespace(inner, 0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobB, err := NewNamespace(inner, 1, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for p := 0; p < 2; p++ {
+				if err := jobA.Save(nsSnap(p, 1, 1, 10)); err != nil {
+					t.Fatalf("job A save p%d: %v", p, err)
+				}
+				// Same keys from job B must NOT collide.
+				if err := jobB.Save(nsSnap(p, 1, 1, 20)); err != nil {
+					t.Fatalf("job B save p%d: %v", p, err)
+				}
+			}
+			// ...but a re-save within one job still does.
+			if err := jobA.Save(nsSnap(0, 1, 1, 10)); !errors.Is(err, ErrDuplicate) {
+				t.Fatalf("intra-job duplicate: err = %v, want ErrDuplicate", err)
+			}
+
+			// Each job reads back its own snapshot under its own proc number.
+			gotA, err := jobA.Get(1, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotB, err := jobB.Latest(1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotA.Proc != 1 || gotB.Proc != 1 {
+				t.Errorf("procs = %d, %d; want un-shifted 1, 1", gotA.Proc, gotB.Proc)
+			}
+			if gotA.Vars["x"] == gotB.Vars["x"] {
+				t.Errorf("jobs read the same snapshot back: %v", gotA.Vars)
+			}
+			if want := nsSnap(1, 1, 1, 10).Vars["x"]; gotA.Vars["x"] != want {
+				t.Errorf("job A x = %d, want %d", gotA.Vars["x"], want)
+			}
+
+			// List is scoped to the job.
+			for _, job := range []*Namespace{jobA, jobB} {
+				snaps, err := job.List(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(snaps) != 1 || snaps[0].Proc != 0 {
+					t.Errorf("List(0) = %+v, want one proc-0 snapshot", snaps)
+				}
+			}
+
+			// Deleting job B's state does not touch job A's.
+			for p := 0; p < 2; p++ {
+				if err := jobB.Delete(p, 1, 1); err != nil {
+					t.Fatalf("job B delete p%d: %v", p, err)
+				}
+			}
+			if _, err := jobB.Latest(1, 1); !errors.Is(err, ErrNotFound) {
+				t.Errorf("job B Latest after delete: err = %v, want ErrNotFound", err)
+			}
+			if _, err := jobA.Get(1, 1, 1); err != nil {
+				t.Errorf("job A lost its snapshot to job B's delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestNamespaceIndexesScopedToJob(t *testing.T) {
+	inner := NewMemory()
+	jobA, _ := NewNamespace(inner, 0, 2)
+	jobB, _ := NewNamespace(inner, 1, 2)
+
+	// Job A has index 1 on both procs; job B only on proc 0. The straight
+	// cut candidate {1} belongs to A alone — the raw store's Indexes would
+	// see 4 distinct procs and report nothing, or worse, mix jobs.
+	for p := 0; p < 2; p++ {
+		if err := jobA.Save(nsSnap(p, 1, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jobB.Save(nsSnap(0, 1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	idxA, err := jobA.Indexes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idxA, []int{1}) {
+		t.Errorf("job A Indexes = %v, want [1]", idxA)
+	}
+	idxB, err := jobB.Indexes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxB) != 0 {
+		t.Errorf("job B Indexes = %v, want none (proc 1 has no snapshot)", idxB)
+	}
+}
+
+func TestNamespaceRejectsOutOfRange(t *testing.T) {
+	ns, err := NewNamespace(NewMemory(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Save(nsSnap(2, 1, 1, 1)); err == nil {
+		t.Error("Save(proc=2) accepted in a 2-proc namespace")
+	}
+	if _, err := ns.List(-1); err == nil {
+		t.Error("List(-1) accepted")
+	}
+	if _, err := ns.Indexes(3); err == nil {
+		t.Error("Indexes(3) accepted in a 2-proc namespace")
+	}
+	if _, err := NewNamespace(NewMemory(), -1, 2); err == nil {
+		t.Error("negative job accepted")
+	}
+}
+
+func TestNamespaceDoesNotForwardScrubber(t *testing.T) {
+	// A job must not scrub (and so garbage-collect) a shared store it does
+	// not own; the runtime's scrub path type-asserts Scrubber and must see
+	// it absent through a namespace.
+	st, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := any(st).(Scrubber); !ok {
+		t.Fatal("file store no longer implements Scrubber; test is vacuous")
+	}
+	ns, err := NewNamespace(st, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := any(ns).(Scrubber); ok {
+		t.Error("namespace forwards Scrubber; a job could quarantine its neighbours' snapshots")
+	}
+}

@@ -60,6 +60,11 @@ const (
 	kiStall
 	kiStorm
 	kiLag
+	kiAdmit
+	kiReject
+	kiJobDone
+	kiBreaker
+	kiDrain
 	kiOther
 	nKinds
 )
@@ -75,7 +80,10 @@ var kindNames = [nKinds]string{
 	kiNetFault: string(obs.KindNetFault), kiSuspect: string(obs.KindSuspect),
 	kiBacklog: string(obs.KindBacklog), kiHeal: string(obs.KindHeal),
 	kiStall: string(obs.KindStall), kiStorm: string(obs.KindStorm),
-	kiLag: string(obs.KindLag), kiOther: "other",
+	kiLag: string(obs.KindLag), kiAdmit: string(obs.KindAdmit),
+	kiReject: string(obs.KindReject), kiJobDone: string(obs.KindJobDone),
+	kiBreaker: string(obs.KindBreaker), kiDrain: string(obs.KindDrain),
+	kiOther: "other",
 }
 
 // kindIndex returns the counter slot for a kind. A string switch compiles
@@ -120,6 +128,16 @@ func kindIndex(k obs.Kind) int {
 		return kiStorm
 	case obs.KindLag:
 		return kiLag
+	case obs.KindAdmit:
+		return kiAdmit
+	case obs.KindReject:
+		return kiReject
+	case obs.KindJobDone:
+		return kiJobDone
+	case obs.KindBreaker:
+		return kiBreaker
+	case obs.KindDrain:
+		return kiDrain
 	default:
 		return kiOther
 	}

@@ -1,11 +1,18 @@
 package telemetry_test
 
 import (
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
 
@@ -296,6 +303,129 @@ func TestStartTicks(t *testing.T) {
 	time.Sleep(5 * time.Millisecond)
 	if a.Snapshot().Ticks != n {
 		t.Error("ticker still running after stop")
+	}
+}
+
+// jobStream deterministically replays job j's synthetic event stream into
+// each observer: computes, checkpoints with known save latencies, blocks,
+// and a rollback — the kinds the fleet aggregator merges across jobs.
+func jobStream(j int, sinks ...obs.Observer) {
+	emit := func(e obs.Event) {
+		for _, s := range sinks {
+			s.OnEvent(e)
+		}
+	}
+	for i := 0; i < 50+j; i++ {
+		emit(obs.Event{Kind: obs.KindCompute, Proc: i % 3, VTime: float64(i)})
+	}
+	for i := 0; i < 5; i++ {
+		emit(obs.Event{Kind: obs.KindChkpt, Proc: i % 3, DurNS: int64(j+1) * 1e6})
+	}
+	emit(obs.Event{Kind: obs.KindBlock, Proc: j % 3, DurNS: 2e6, VDur: 0.1})
+	emit(obs.Event{Kind: obs.KindRollback, Proc: -1})
+	emit(obs.Event{Kind: obs.KindJobDone, Proc: -1, Inc: j, Tag: "succeeded"})
+}
+
+// TestMultiObserverMergeEqualsPerJobSum is the fleet wiring contract: one
+// aggregator tapped by N concurrent job observers must end up with exactly
+// the merged counters and quantile-sketch populations that N isolated
+// per-job aggregators sum to. Nothing may be lost or double-counted under
+// concurrency.
+func TestMultiObserverMergeEqualsPerJobSum(t *testing.T) {
+	const jobs = 16
+	shared := telemetry.New(telemetry.Config{Nproc: 3, Window: time.Hour})
+	solo := make([]*telemetry.Aggregator, jobs)
+	for j := range solo {
+		solo[j] = telemetry.New(telemetry.Config{Nproc: 3, Window: time.Hour})
+	}
+
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			// Each job feeds its own aggregator AND the shared one through
+			// the same fan-out a fleet job's sim.Config.Observer uses.
+			jobStream(j, obs.Multi(solo[j], shared))
+		}(j)
+	}
+	wg.Wait()
+	shared.Tick()
+
+	got := shared.Snapshot()
+	wantKinds := map[string]int64{}
+	var wantTotal, wantSaves, wantBlocks int64
+	var wantSaveMax float64
+	for j := range solo {
+		s := solo[j].Snapshot()
+		for k, v := range s.Kinds {
+			wantKinds[k] += v
+		}
+		wantTotal += s.Total
+		wantSaves += s.SaveMS.Count
+		wantBlocks += s.BlockMS.Count
+		wantSaveMax = math.Max(wantSaveMax, s.SaveMS.Max)
+	}
+	if got.Total != wantTotal {
+		t.Fatalf("merged total = %d, want sum of per-job totals %d", got.Total, wantTotal)
+	}
+	if !reflect.DeepEqual(got.Kinds, wantKinds) {
+		t.Errorf("merged kind totals = %v, want %v", got.Kinds, wantKinds)
+	}
+	if got.SaveMS.Count != wantSaves || got.BlockMS.Count != wantBlocks {
+		t.Errorf("sketch populations: saves=%d blocks=%d, want %d, %d",
+			got.SaveMS.Count, got.BlockMS.Count, wantSaves, wantBlocks)
+	}
+	if got.SaveMS.Max != wantSaveMax {
+		t.Errorf("save latency max = %v, want per-job max %v", got.SaveMS.Max, wantSaveMax)
+	}
+	// Quantiles of the merged population must sit inside the emitted
+	// latency range (1..jobs ms) — a merge that mangled sketch buckets
+	// would push them outside.
+	if got.SaveMS.P50 < 1 || got.SaveMS.P99 > jobs+1 {
+		t.Errorf("merged quantiles out of range: %+v", got.SaveMS)
+	}
+	if got.Kinds["jobdone"] != jobs {
+		t.Errorf("jobdone total = %d, want %d", got.Kinds["jobdone"], jobs)
+	}
+}
+
+// TestMultiObserverMergeFromRealRuns drives N real sim jobs concurrently,
+// every job's observer fanned into one shared aggregator (exactly how
+// chkptfleet wires it), and checks the aggregate checkpoint count equals
+// the sum each run reports for itself.
+func TestMultiObserverMergeFromRealRuns(t *testing.T) {
+	const jobs = 4
+	shared := telemetry.New(telemetry.Config{Nproc: 3, Window: time.Hour})
+	var wantChkpts atomic.Int64
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			res, err := sim.Run(sim.Config{
+				Program: corpus.JacobiFig1(3), Nproc: 3,
+				Store:    storage.NewMemory(),
+				Observer: obs.Multi(shared),
+				Timeout:  30 * time.Second,
+				Jitter:   int64(j + 1),
+			})
+			if err != nil {
+				t.Errorf("job %d: %v", j, err)
+				return
+			}
+			wantChkpts.Add(res.Metrics.Checkpoints)
+		}(j)
+	}
+	wg.Wait()
+	shared.Tick()
+	s := shared.Snapshot()
+	if s.Kinds["chkpt"] != wantChkpts.Load() {
+		t.Errorf("aggregated chkpt events = %d, want sum of per-job checkpoints %d",
+			s.Kinds["chkpt"], wantChkpts.Load())
+	}
+	if s.SaveMS.Count != wantChkpts.Load() {
+		t.Errorf("save sketch count = %d, want %d", s.SaveMS.Count, wantChkpts.Load())
 	}
 }
 

@@ -2,9 +2,11 @@ package telemetry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -21,6 +23,12 @@ type Server struct {
 	agg  *Aggregator
 	ln   net.Listener
 	http *http.Server
+
+	served   chan struct{} // closed when the serve goroutine exits
+	serveErr error         // its verdict; read only after <-served
+	closeMu  sync.Mutex
+	closeErr error
+	closed   bool
 }
 
 // NewServer binds addr (e.g. "127.0.0.1:9464", or ":0" for an ephemeral
@@ -42,7 +50,17 @@ func NewServer(addr string, agg *Aggregator) (*Server, error) {
 		ReadTimeout:  5 * time.Second,
 		WriteTimeout: 10 * time.Second,
 	}
-	go func() { _ = s.http.Serve(ln) }() // Serve returns ErrServerClosed on Close
+	s.served = make(chan struct{})
+	go func() {
+		// Serve returns ErrServerClosed on an orderly Close; anything else
+		// (listener torn out from under us, accept loop death) means the
+		// endpoint silently stopped serving mid-run — Close surfaces it.
+		err := s.http.Serve(ln)
+		if !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = fmt.Errorf("telemetry: server stopped serving: %w", err)
+		}
+		close(s.served)
+	}()
 	return s, nil
 }
 
@@ -52,8 +70,24 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the server's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the listener and in-flight handlers.
-func (s *Server) Close() error { return s.http.Close() }
+// Close stops the listener and in-flight handlers. It reports a shutdown
+// failure OR a serve-loop death that predates it: a telemetry endpoint
+// that died mid-run must not look like a clean exit to the caller.
+// Close is idempotent; every call returns the same verdict.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if !s.closed {
+		s.closed = true
+		err := s.http.Close()
+		<-s.served // serve goroutine has recorded its verdict
+		if err == nil {
+			err = s.serveErr
+		}
+		s.closeErr = err
+	}
+	return s.closeErr
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

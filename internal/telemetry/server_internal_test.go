@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCloseReportsServeDeath pins the exit-path contract: when the serve
+// loop dies out from under the run (here: the listener yanked away), Close
+// must surface that instead of reporting a clean shutdown — chkptsim turns
+// this into a non-zero exit.
+func TestCloseReportsServeDeath(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", New(Config{Window: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the accept loop the way an external failure would.
+	if err := srv.ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-srv.served
+
+	first := srv.Close()
+	if first == nil || !strings.Contains(first.Error(), "stopped serving") {
+		t.Fatalf("Close() = %v, want serve-death error", first)
+	}
+	// Idempotent: the verdict must not change or vanish on re-Close.
+	if second := srv.Close(); second != first {
+		t.Errorf("second Close() = %v, want the same verdict %v", second, first)
+	}
+}
+
+func TestCloseCleanShutdownIsNil(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", New(Config{Window: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("clean Close() = %v, want nil", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("repeated clean Close() = %v, want nil", err)
+	}
+}

@@ -52,4 +52,11 @@ run_set telemetry \
     BENCH_telemetry.json \
     ./internal/telemetry/ ./internal/metrics/
 
+# Fleet: saturated end-to-end job throughput (clean and under chaos) and
+# the breaker's closed-path per-op overhead (must stay 0 alloc/op).
+run_set fleet \
+    'BenchmarkFleetThroughput|BenchmarkFleetChaosThroughput|BenchmarkBreakerClosedPath' \
+    BENCH_fleet.json \
+    ./internal/fleet/
+
 echo 'bench OK'
