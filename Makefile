@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt bench chaos netchaos verify fuzz telemetry fleet
+.PHONY: all build vet test race check fmt bench chaos netchaos walchaos verify fuzz telemetry fleet
 
 all: check
 
@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test -fuzz FuzzEval -fuzztime $(FUZZTIME) ./internal/mpl
 	$(GO) test -fuzz FuzzCFGBuild -fuzztime $(FUZZTIME) ./internal/cfg
 	$(GO) test -fuzz FuzzStraightCutTheorem -fuzztime $(FUZZTIME) ./internal/verify
+	$(GO) test -fuzz FuzzWALRecover -fuzztime $(FUZZTIME) ./internal/storage/wal
 
 # telemetry runs the live-telemetry smoke: chkptsim serving /metrics on an
 # ephemeral port, scraped end-to-end by cmd/telemetryprobe.
@@ -60,6 +61,13 @@ chaos:
 # SOAK_SEEDS=<n> overrides the per-profile seed count.
 netchaos:
 	$(GO) test -race -run 'TestNetChaosSoak' -count=1 -v .
+
+# walchaos runs the durable-log crash soak: multi-seed kill/reopen loops
+# over the WAL store with deterministic crash-point and bit-flip injection,
+# proving no acknowledged checkpoint is ever lost and no torn record is
+# ever served, under the race detector. SOAK_SEEDS=<n> overrides the count.
+walchaos:
+	$(GO) test -race -run 'TestWALChaosSoak' -count=1 -v .
 
 # fleet runs the fleet-engine soak: >= 1000 concurrent checkpointed jobs
 # against one shared store under storage/crash/network chaos, with exact

@@ -4,7 +4,7 @@ package repro_test
 // combining storage fault injection (transient errors, torn writes, bit
 // flips, latency) with generated multi-process, multi-incarnation crash
 // schedules must all converge to the clean run's final state, across all
-// three store kinds — and the fleet as a whole must actually exercise the
+// four store kinds — and the fleet as a whole must actually exercise the
 // fault machinery (faults injected, retries taken, degraded recoveries
 // observed, with matching observability events).
 //
@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 )
 
 func TestChaosSoak(t *testing.T) {
@@ -70,17 +71,24 @@ func TestChaosSoak(t *testing.T) {
 			t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 				t.Parallel()
 				var inner storage.Store
-				switch seed % 3 {
+				switch seed % 4 {
 				case 0:
 					inner = storage.NewMemory()
 				case 1:
 					inner = storage.NewIncremental(4)
-				default:
+				case 2:
 					fs, err := storage.NewFile(filepath.Join(t.TempDir(), "ckpt"))
 					if err != nil {
 						t.Fatal(err)
 					}
 					inner = fs
+				default:
+					ws, err := wal.Open(filepath.Join(t.TempDir(), "wal"), wal.Options{Shards: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer ws.Close()
+					inner = ws
 				}
 				rates := chaos.DefaultRates(0.12)
 				if seed%2 == 1 {

@@ -12,7 +12,7 @@
 //	           [-net-fault-rate 0.02] [-business-rate 0.01]
 //	           [-breaker-threshold 5] [-breaker-cooldown 50ms]
 //	           [-retry-budget 4] [-drain-timeout 30s] [-job-timeout 30s]
-//	           [-drain-after 0] [-store mem] [-events-out fleet.jsonl]
+//	           [-drain-after 0] [-store mem|wal:DIR|DIR] [-events-out fleet.jsonl]
 //	           [-telemetry-addr 127.0.0.1:9464] [-telemetry-window 250ms]
 //	           [-dash] [-q]
 //
@@ -44,6 +44,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 	"repro/internal/telemetry"
 )
 
@@ -77,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) (code i
 		drainTmo   = fs.Duration("drain-timeout", 30*time.Second, "how long drain waits for in-flight jobs before cancel-parking them")
 		jobTmo     = fs.Duration("job-timeout", 30*time.Second, "per-job watchdog timeout")
 		drainAfter = fs.Duration("drain-after", 0, "begin graceful drain after this long (0 = only on signal/stream end)")
-		storeKind  = fs.String("store", "mem", "shared stable storage: mem, or a directory path for the file store")
+		storeKind  = fs.String("store", "mem", "shared stable storage: mem, wal:DIR (durable group-commit log), or a directory path for the file store")
 		eventsOut  = fs.String("events-out", "", "stream structured JSONL fleet+runtime events to this file")
 		telAddr    = fs.String("telemetry-addr", "", "serve live telemetry on this address: /metrics, /snapshot.json, /healthz")
 		telWindow  = fs.Duration("telemetry-window", 250*time.Millisecond, "telemetry aggregation window")
@@ -108,7 +109,24 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) (code i
 	}
 
 	var store storage.Store
-	if *storeKind != "mem" {
+	var walStore *wal.Store
+	switch {
+	case *storeKind == "mem":
+		// fleet default: per-run in-memory store
+	case strings.HasPrefix(*storeKind, "wal:"):
+		ws, err := wal.Open(strings.TrimPrefix(*storeKind, "wal:"), wal.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptfleet:", err)
+			return 1
+		}
+		defer func() {
+			if err := ws.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		walStore = ws
+		store = ws
+	default:
 		fileStore, err := storage.NewFile(*storeKind)
 		if err != nil {
 			fmt.Fprintln(stderr, "chkptfleet:", err)
@@ -223,6 +241,11 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) (code i
 	}
 	rep, err := e.Run()
 	fmt.Fprint(stdout, rep.String())
+	if walStore != nil {
+		st := walStore.Stats()
+		fmt.Fprintf(stdout, "wal store: %d save(s) in %d group commit(s), %d rotation(s), %d compaction(s), %d recovered, %dB torn tail truncated\n",
+			st.Saves, st.Batches, st.Rotations, st.Compactions, st.Recovered, st.TruncatedBytes)
+	}
 	if err != nil {
 		// Conservation violation: an admitted job is missing from the
 		// taxonomy — a silent loss. Never exit 0 on that.

@@ -93,6 +93,22 @@ func TestEventsOutAndFileStore(t *testing.T) {
 	}
 }
 
+func TestWALStoreFlag(t *testing.T) {
+	dir := t.TempDir()
+	code, out, stderr := runFleet(t, "-jobs", "5", "-seed", "2", "-store", "wal:"+dir+"/log")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "wal store:") {
+		t.Errorf("no wal store stats in output:\n%s", out)
+	}
+	// The log persisted segments and a manifest on disk.
+	fis, err := os.ReadDir(dir + "/log")
+	if err != nil || len(fis) == 0 {
+		t.Fatalf("wal store dir empty: %v (%d entries)", err, len(fis))
+	}
+}
+
 func TestBadFlagsExitTwo(t *testing.T) {
 	if code, _, _ := runFleet(t, "-jobs", "nope"); code != 2 {
 		t.Fatalf("bad flag exit = %d, want 2", code)

@@ -69,6 +69,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/zigzag"
@@ -109,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		transform  = fs.Bool("transform", false, "run the offline transformation (phases I-III) before executing")
 		verify     = fs.Bool("verify", true, "verify that every straight cut of the trace is a recovery line")
 		interval   = fs.Int("uncoord-interval", 10, "uncoordinated mode: local events between checkpoints")
-		storeKind  = fs.String("store", "mem", "stable storage: mem, incremental, or a directory path for the file store")
+		storeKind  = fs.String("store", "mem", "stable storage: mem, incremental, wal:DIR (durable group-commit log), or a directory path for the file store")
 		zz         = fs.Bool("zigzag", false, "run the Netzer-Xu Z-cycle analysis on the recorded trace and report useless checkpoints")
 		traceOut   = fs.String("trace-out", "", "write the run as Chrome trace-event JSON (open in ui.perfetto.dev or chrome://tracing)")
 		eventsOut  = fs.String("events-out", "", "stream structured JSONL runtime events to this file as they happen")
@@ -301,12 +302,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}()
 	}
 	var incStore *storage.Incremental
-	switch *storeKind {
-	case "mem":
+	var walStore *wal.Store
+	switch {
+	case *storeKind == "mem":
 		// default in-memory store
-	case "incremental":
+	case *storeKind == "incremental":
 		incStore = storage.NewIncremental(0)
 		cfg.Store = incStore
+	case strings.HasPrefix(*storeKind, "wal:"):
+		ws, err := wal.Open(strings.TrimPrefix(*storeKind, "wal:"), wal.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "chkptsim:", err)
+			return 1
+		}
+		defer ws.Close()
+		walStore = ws
+		cfg.Store = ws
 	default:
 		fileStore, err := storage.NewFile(*storeKind)
 		if err != nil {
@@ -403,6 +414,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if incStore != nil {
 		st := incStore.Stats()
 		fmt.Fprintf(stdout, "incremental store: %dB full + %dB delta\n", st.FullBytes, st.DeltaBytes)
+	}
+	if walStore != nil {
+		st := walStore.Stats()
+		fmt.Fprintf(stdout, "wal store: %d save(s) in %d group commit(s), %d rotation(s), %d compaction(s), %d recovered, %dB torn tail truncated\n",
+			st.Saves, st.Batches, st.Rotations, st.Compactions, st.Recovered, st.TruncatedBytes)
 	}
 	if chaosStore != nil {
 		st := chaosStore.Stats()

@@ -110,7 +110,7 @@ func TestProtocols(t *testing.T) {
 
 func TestStoreKinds(t *testing.T) {
 	path := writeTemp(t, fig2Src)
-	for _, store := range []string{"mem", "incremental", t.TempDir()} {
+	for _, store := range []string{"mem", "incremental", t.TempDir(), "wal:" + t.TempDir()} {
 		var out, errb strings.Builder
 		code := run([]string{"-n", "4", "-transform", "-store", store, "-fail", "1:8", path}, &out, &errb)
 		if code != 0 {
@@ -127,6 +127,15 @@ func TestStoreKinds(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "incremental store:") {
 		t.Errorf("no store stats: %q", out.String())
+	}
+	// The WAL store reports group-commit activity.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-n", "2", "-transform", "-store", "wal:" + t.TempDir(), path}, &out, &errb); code != 0 {
+		t.Fatalf("wal run: exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wal store:") {
+		t.Errorf("no wal store stats: %q", out.String())
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 )
 
 // brownoutStore fails every operation transiently for a wall-clock window
@@ -178,6 +179,35 @@ func TestFleetSoak(t *testing.T) {
 			buckets[b] += n
 		}
 		mu.Unlock()
+	})
+
+	// WAL-store scenario: the whole fleet — admission, retry, breaker,
+	// namespaces — runs against the durable group-commit log instead of a
+	// memory store, under the same chaos profile. The books must still
+	// balance and every acked save must have hit the committer. (Batch
+	// amortization itself is pinned by TestGroupCommitBatches; Batches
+	// vs Saves is not an invariant here because scrub tombstones commit
+	// in batches of their own.)
+	t.Run("walstore", func(t *testing.T) {
+		ws, err := wal.Open(t.TempDir(), wal.Options{Shards: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ws.Close()
+		cfg := chaosCfg(4242)
+		cfg.Store = ws
+		rep := runScenario(t, cfg)
+		if rep.Buckets[fleet.BucketSucceeded] == 0 {
+			t.Fatalf("no job succeeded against the WAL store:\n%s", rep)
+		}
+		st := ws.Stats()
+		if st.Saves == 0 {
+			t.Fatalf("fleet ran but the WAL store saw no saves: %+v", st)
+		}
+		if st.Batches == 0 {
+			t.Errorf("saves acked but no group commit recorded: %+v", st)
+		}
+		t.Logf("wal under fleet: %d saves in %d group commits", st.Saves, st.Batches)
 	})
 
 	// Overload scenario: back-to-back arrivals into a tiny fleet must be

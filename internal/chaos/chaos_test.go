@@ -133,6 +133,30 @@ func TestScrubClearsMarksAndAllowsResave(t *testing.T) {
 	}
 }
 
+func TestScrubSurvivesNamespacedProcNumbers(t *testing.T) {
+	// Under a fleet Namespace the chaos store sees GLOBAL proc numbers
+	// (e.g. job 16 of a 2-proc job saves proc 32) while each snapshot's
+	// vector clock stays job-local (length 2). Scrub's newest-first
+	// ordering must not index the clock with the global number.
+	c := New(storage.NewMemory(), 11, Rates{}, nil)
+	for inst := 0; inst < 3; inst++ {
+		if err := c.Save(snap(32, 1, inst)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.corrupt[key{32, 1, 1}] = "bit flip"
+	rep, err := c.Scrub()
+	if err != nil {
+		t.Fatalf("scrub over namespaced procs: %v", err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Proc != 32 {
+		t.Fatalf("scrub = %+v, want 1 quarantined at proc 32", rep)
+	}
+	if _, err := c.Get(32, 1, 1); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Get after scrub = %v, want ErrNotFound", err)
+	}
+}
+
 func TestScrubTruncatesNewestFirstOverDeltaChain(t *testing.T) {
 	// The inner store only allows tail deletion (Incremental): quarantining
 	// an old marked key must remove the newer clean keys above it as

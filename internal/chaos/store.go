@@ -340,8 +340,19 @@ func (c *Store) Scrub() (storage.ScrubReport, error) {
 		if err != nil {
 			return rep, err
 		}
+		// Newest-first by the process's own clock component. Under a
+		// Namespace the proc number is fleet-global while each snapshot's
+		// clock is job-local, so component p may not exist; fall back to
+		// instance order there (fine: delta-encoded stores, the reason for
+		// newest-first, are never namespaced in the fleet).
+		newness := func(s storage.Snapshot) uint64 {
+			if p < len(s.Clock) {
+				return s.Clock[p]
+			}
+			return uint64(s.Instance)
+		}
 		sort.Slice(snaps, func(i, j int) bool {
-			return snaps[i].Clock[p] > snaps[j].Clock[p]
+			return newness(snaps[i]) > newness(snaps[j])
 		})
 		for _, s := range snaps {
 			if pending[p] == 0 {

@@ -282,3 +282,22 @@ func (b *Breaker) Indexes(n int) ([]int, error) {
 func (b *Breaker) Delete(proc, cfgIndex, instance int) error {
 	return b.do(func() error { return b.inner.Delete(proc, cfgIndex, instance) })
 }
+
+// Scrub forwards storage.Scrubber when the wrapped store implements it, so
+// quarantine reaches durable backends through the fleet's full wrapper
+// chain (Namespace → Breaker → chaos/store). It runs under the breaker
+// protocol like any other operation: a browned-out store sheds scrubs too.
+func (b *Breaker) Scrub() (storage.ScrubReport, error) {
+	scr, ok := b.inner.(storage.Scrubber)
+	if !ok {
+		return storage.ScrubReport{}, nil
+	}
+	var rep storage.ScrubReport
+	err := b.do(func() (err error) {
+		rep, err = scr.Scrub()
+		return err
+	})
+	return rep, err
+}
+
+var _ storage.Scrubber = (*Breaker)(nil)

@@ -197,3 +197,55 @@ func TestBreakerHalfOpenLimitsProbes(t *testing.T) {
 	}
 	b.after(probe, nil)
 }
+
+// scrubbableStore is a memory store that implements Scrubber by reporting
+// (and clearing) injected marks — minimal stand-in for chaos/wal/file
+// stores in the fleet chain.
+type scrubbableStore struct {
+	storage.Store
+	marks []storage.SnapshotRef
+}
+
+func (s *scrubbableStore) Scrub() (storage.ScrubReport, error) {
+	rep := storage.ScrubReport{Quarantined: s.marks}
+	s.marks = nil
+	return rep, nil
+}
+
+// TestBreakerForwardsScrubber: the fleet chain is Namespace → Breaker →
+// store, so quarantine only reaches a durable backend if the breaker
+// forwards Scrub. It must also shed scrubs while open, like any other op.
+func TestBreakerForwardsScrubber(t *testing.T) {
+	inner := &scrubbableStore{
+		Store: storage.NewMemory(),
+		marks: []storage.SnapshotRef{{Proc: 3, CFGIndex: 1, Instance: 0, Reason: "bit flip"}},
+	}
+	clk := &fakeClock{}
+	b := newTestBreaker(inner, clk, nil, nil)
+	scr, ok := any(b).(storage.Scrubber)
+	if !ok {
+		t.Fatal("breaker does not forward Scrubber; fleet quarantine dead-ends at the breaker")
+	}
+	rep, err := scr.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub through breaker: %v", err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Proc != 3 {
+		t.Fatalf("report not forwarded: %+v", rep)
+	}
+
+	// Non-scrubber inner: clean no-op.
+	b2 := newTestBreaker(newFlaky(), clk, nil, nil)
+	if rep, err := b2.Scrub(); err != nil || len(rep.Quarantined) != 0 {
+		t.Fatalf("Scrub over non-scrubber inner = %+v, %v; want empty, nil", rep, err)
+	}
+
+	// An open breaker sheds scrubs too.
+	b3 := newTestBreaker(&scrubbableStore{Store: storage.NewMemory()}, clk, nil, nil)
+	b3.mu.Lock()
+	b3.trip("test")
+	b3.mu.Unlock()
+	if _, err := b3.Scrub(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Scrub through open breaker = %v, want ErrBreakerOpen", err)
+	}
+}

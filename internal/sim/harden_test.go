@@ -71,6 +71,51 @@ func TestExhaustedSaveBecomesCrashAndRecovers(t *testing.T) {
 	}
 }
 
+// fsyncFailStore fails the next `fails` Save calls with storage.ErrFsync —
+// the fsyncgate failure mode, where the fsync error is permanent because
+// the kernel may already have dropped the dirty pages.
+type fsyncFailStore struct {
+	storage.Store
+	fails    int64
+	attempts atomic.Int64
+}
+
+func (f *fsyncFailStore) Save(s storage.Snapshot) error {
+	f.attempts.Add(1)
+	if atomic.AddInt64(&f.fails, -1) >= 0 {
+		return fmt.Errorf("%w: injected fsync failure", storage.ErrFsync)
+	}
+	return f.Store.Save(s)
+}
+
+// TestFsyncFailureCrashesWithoutRetry pins the fsyncgate semantics: a Save
+// failing with ErrFsync must NOT be retried as if transient — it becomes a
+// process crash immediately, and the run recovers through the ordinary
+// rollback path to the same final state.
+func TestFsyncFailureCrashesWithoutRetry(t *testing.T) {
+	p := corpus.JacobiFig1(4)
+	clean := runOK(t, p, 4)
+	st := &fsyncFailStore{Store: storage.NewMemory(), fails: 1}
+	res := runOK(t, p, 4, func(c *Config) {
+		c.Store = st
+		c.MaxRestarts = 5
+	})
+	if res.Restarts < 1 {
+		t.Fatalf("restarts = %d, want >= 1 (fsync failure must crash the process)", res.Restarts)
+	}
+	if got := res.Metrics.Custom[MetricSaveCrashes]; got < 1 {
+		t.Errorf("%s = %d, want >= 1", MetricSaveCrashes, got)
+	}
+	// The one failed save must not have been retried: every attempt past
+	// the first belongs to replay after recovery, not backoff.
+	if got := res.Metrics.Custom[MetricStoreRetries]; got != 0 {
+		t.Errorf("%s = %d, want 0 — ErrFsync was retried as if transient", MetricStoreRetries, got)
+	}
+	if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+		t.Errorf("fsync-failure run diverged:\nclean: %v\ngot: %v", clean.FinalVars, res.FinalVars)
+	}
+}
+
 func TestConcurrentCrashesConverge(t *testing.T) {
 	p := corpus.JacobiFig1(4)
 	clean := runOK(t, p, 4)

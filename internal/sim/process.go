@@ -301,12 +301,15 @@ func (p *Proc) TakeCheckpoint(idx int) error {
 	}
 	saveStart := p.now()
 	if err := p.store.Save(snap); err != nil {
-		if errors.Is(err, storage.ErrTransient) {
-			// The save exhausted its retries. A process that cannot persist
-			// its checkpoint is indistinguishable from a crashed one, so
-			// convert the outage into a crash: the runtime rolls back to
-			// the last recovery line and replays, instead of failing the
-			// whole run.
+		if errors.Is(err, storage.ErrTransient) || errors.Is(err, storage.ErrFsync) {
+			// The save exhausted its retries, or an fsync failed — which is
+			// permanent (fsyncgate: the kernel may have dropped the dirty
+			// pages, so retrying could "succeed" with nothing on disk). A
+			// process that cannot persist its checkpoint is
+			// indistinguishable from a crashed one, so convert the outage
+			// into a crash: the runtime rolls back to the last recovery
+			// line and replays from what storage verifiably holds, instead
+			// of failing the whole run.
 			p.counters.Inc(MetricSaveCrashes, 1)
 			return fmt.Errorf("%w: process %d checkpoint save: %v", ErrProcFailed, p.rank, err)
 		}

@@ -97,10 +97,15 @@ func (f *File) Save(s Snapshot) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: write snapshot: %w", err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := fsyncData(tmp); err != nil {
+		// fsyncgate: a failed fsync is PERMANENT, not transient. The
+		// kernel may have dropped the dirty pages while clearing the error
+		// flag, so a retried fsync can return success with the data never
+		// on disk. Fail the save with ErrFsync so the caller rides the
+		// crash→recovery path instead of retrying the lie.
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("storage: sync snapshot: %w", err)
+		return fmt.Errorf("%w: snapshot %s: %v", ErrFsync, filepath.Base(path), err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
@@ -114,10 +119,17 @@ func (f *File) Save(s Snapshot) error {
 	// disk: without this fsync a host crash can lose an acknowledged
 	// checkpoint even though the data blocks were synced above.
 	if err := syncDir(f.dir); err != nil {
-		return fmt.Errorf("storage: sync dir: %w", err)
+		// Un-publish: the snapshot must not be readable when its
+		// durability cannot be vouched for — a crash after a nil return
+		// here could lose an "acknowledged" checkpoint.
+		os.Remove(path)
+		return fmt.Errorf("%w: snapshot dir for %s: %v", ErrFsync, filepath.Base(path), err)
 	}
 	return nil
 }
+
+// fsyncData is a seam so tests can inject fsync failures (fsyncgate).
+var fsyncData = func(f *os.File) error { return f.Sync() }
 
 // syncDir fsyncs a directory so renames within it are durable.
 func syncDir(dir string) error {
@@ -125,7 +137,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	err = d.Sync()
+	err = fsyncData(d)
 	if cerr := d.Close(); err == nil {
 		err = cerr
 	}

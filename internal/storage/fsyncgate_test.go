@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// TestFileStoreFsyncGate pins fsyncgate semantics for the file store: a
+// failed data fsync fails the Save with ErrFsync — permanent, NOT
+// ErrTransient — and leaves no half-published snapshot behind.
+func TestFileStoreFsyncGate(t *testing.T) {
+	orig := fsyncData
+	defer func() { fsyncData = orig }()
+
+	f, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	fsyncData = func(fd *os.File) error {
+		if fail {
+			return errors.New("injected EIO")
+		}
+		return orig(fd)
+	}
+	err = f.Save(nsSnap(0, 0, 0, 1))
+	if !errors.Is(err, ErrFsync) {
+		t.Fatalf("Save under failing fsync = %v, want ErrFsync", err)
+	}
+	if errors.Is(err, ErrTransient) {
+		t.Fatal("ErrFsync is marked transient: the retry layer would re-run an fsync that can silently lie")
+	}
+	// Nothing half-published: the key reads as missing and the temp file is
+	// gone.
+	if _, err := f.Get(0, 0, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after failed-fsync save = %v, want ErrNotFound", err)
+	}
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed save left %d file(s) behind: %v", len(entries), entries)
+	}
+
+	// The failure path rides crash→recovery: after the device heals and the
+	// caller replays, the SAME key saves cleanly (no duplicate residue).
+	fail = false
+	if err := f.Save(nsSnap(0, 0, 0, 1)); err != nil {
+		t.Fatalf("replayed save after fsync healed: %v", err)
+	}
+	if _, err := f.Get(0, 0, 0); err != nil {
+		t.Fatalf("Get after replay: %v", err)
+	}
+}
+
+// TestFileStoreDirFsyncGate: a failed DIRECTORY fsync after the rename
+// must un-publish the snapshot — a nil return there could acknowledge a
+// checkpoint that a crash then loses with the directory entry.
+func TestFileStoreDirFsyncGate(t *testing.T) {
+	orig := fsyncData
+	defer func() { fsyncData = orig }()
+
+	f, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsyncData = func(fd *os.File) error {
+		st, serr := fd.Stat()
+		if serr == nil && st.IsDir() {
+			return errors.New("injected dir EIO")
+		}
+		return orig(fd)
+	}
+	err = f.Save(nsSnap(1, 2, 0, 1))
+	if !errors.Is(err, ErrFsync) {
+		t.Fatalf("Save under failing dir fsync = %v, want ErrFsync", err)
+	}
+	if _, err := f.Get(1, 2, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("snapshot readable after un-vouchable save: %v", err)
+	}
+	fsyncData = orig
+	if err := f.Save(nsSnap(1, 2, 0, 1)); err != nil {
+		t.Fatalf("replayed save after dir fsync healed: %v", err)
+	}
+}

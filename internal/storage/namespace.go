@@ -18,11 +18,16 @@ import (
 // the ranges map to disjoint p<N> filename families, so jobs cannot
 // clobber each other's checkpoint files either.
 //
-// Namespace deliberately does NOT forward the Scrubber interface: a scrub
-// quarantines damaged snapshots across the WHOLE backing store, and a
-// single job must not garbage-collect its neighbours' state. Recovery
-// copes without scrubbing — corrupt snapshots fail to load and selection
-// degrades past them; chaos-marked keys heal on re-save.
+// Namespace forwards the Scrubber interface when the backing store
+// implements it. A scrub only quarantines records that FAIL integrity
+// verification, so forwarding cannot garbage-collect a neighbour job's
+// healthy state — and without forwarding, quarantine silently no-ops for
+// every namespaced fleet job, leaving damaged keys permanently colliding
+// with the checkpoints replay regenerates. The report is translated into
+// the job's own process numbering; damage quarantined in OTHER jobs'
+// ranges (healed as a side effect of the shared pass) is omitted from
+// Quarantined and folded into Collateral, since from this job's view it is
+// cleanup it did not ask for.
 type Namespace struct {
 	inner Store
 	base  int
@@ -141,3 +146,34 @@ func (ns *Namespace) Delete(proc, cfgIndex, instance int) error {
 	}
 	return ns.inner.Delete(proc+ns.base, cfgIndex, instance)
 }
+
+// Scrub implements Scrubber when the backing store does. The inner scrub
+// verifies and quarantines across the whole shared store; the returned
+// report is re-scoped to this job: quarantined keys inside the job's
+// process range come back in local numbering, and quarantines outside it
+// are counted as Collateral rather than listed, so a job never sees
+// another job's key space. When the backing store is not a Scrubber the
+// scrub is a clean no-op, preserving the old behaviour for memory-backed
+// fleets.
+func (ns *Namespace) Scrub() (ScrubReport, error) {
+	scr, ok := ns.inner.(Scrubber)
+	if !ok {
+		return ScrubReport{}, nil
+	}
+	rep, err := scr.Scrub()
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	out := ScrubReport{Collateral: rep.Collateral, TempFiles: rep.TempFiles}
+	for _, ref := range rep.Quarantined {
+		if ref.Proc >= ns.base && ref.Proc < ns.base+ns.nproc {
+			ref.Proc -= ns.base
+			out.Quarantined = append(out.Quarantined, ref)
+		} else {
+			out.Collateral++
+		}
+	}
+	return out, nil
+}
+
+var _ Scrubber = (*Namespace)(nil)

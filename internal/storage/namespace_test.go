@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"os"
 	"reflect"
 	"testing"
 
@@ -158,22 +159,112 @@ func TestNamespaceRejectsOutOfRange(t *testing.T) {
 	}
 }
 
-func TestNamespaceDoesNotForwardScrubber(t *testing.T) {
-	// A job must not scrub (and so garbage-collect) a shared store it does
-	// not own; the runtime's scrub path type-asserts Scrubber and must see
-	// it absent through a namespace.
+// TestNamespaceForwardsScrubber: a corrupt record in job A's view must
+// quarantine through A's namespace WITHOUT touching job B's healthy
+// state, and A's report must come back in A's own process numbering.
+func TestNamespaceForwardsScrubber(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobA, err := NewNamespace(st, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := NewNamespace(st, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		if err := jobA.Save(nsSnap(p, 0, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := jobB.Save(nsSnap(p, 0, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage job A's proc-1 snapshot on disk (backing proc number 1).
+	damagePath := st.path(1, 0, 0)
+	if err := os.WriteFile(damagePath, []byte("rotted beyond recognition"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scr, ok := any(jobA).(Scrubber)
+	if !ok {
+		t.Fatal("namespace does not forward Scrubber; fleet quarantine silently no-ops")
+	}
+	rep, err := scr.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub through namespace: %v", err)
+	}
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("Quarantined = %+v, want exactly job A's damaged record", rep.Quarantined)
+	}
+	// The ref must be in JOB-LOCAL numbering: backing proc 1 is A's proc 1.
+	if got := rep.Quarantined[0]; got.Proc != 1 || got.CFGIndex != 0 || got.Instance != 0 {
+		t.Fatalf("quarantined ref %+v not translated to job-local numbering", got)
+	}
+	// Job A's damaged key is gone and savable again...
+	if _, err := jobA.Get(1, 0, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("jobA.Get(damaged) = %v, want ErrNotFound after scrub", err)
+	}
+	if err := jobA.Save(nsSnap(1, 0, 0, 2)); err != nil {
+		t.Fatalf("jobA re-save after scrub: %v", err)
+	}
+	// ...and job B's state was never touched.
+	for p := 0; p < 2; p++ {
+		if _, err := jobB.Get(p, 0, 0); err != nil {
+			t.Fatalf("jobB.Get(%d,0,0) after A's scrub: %v", p, err)
+		}
+	}
+}
+
+// TestNamespaceScrubScopesReport: damage in job B's range, scrubbed
+// through job A, heals the shared store but is reported to A only as
+// collateral — B's key space never appears in A's report.
+func TestNamespaceScrubScopesReport(t *testing.T) {
 	st, err := NewFile(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := any(st).(Scrubber); !ok {
-		t.Fatal("file store no longer implements Scrubber; test is vacuous")
+	jobA, _ := NewNamespace(st, 0, 2)
+	jobB, _ := NewNamespace(st, 1, 2)
+	if err := jobB.Save(nsSnap(0, 0, 0, 1)); err != nil {
+		t.Fatal(err)
 	}
-	ns, err := NewNamespace(st, 0, 2)
+	// Damage job B's proc-0 snapshot (backing proc 2).
+	if err := os.WriteFile(st.path(2, 0, 0), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := jobA.Scrub()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := any(ns).(Scrubber); ok {
-		t.Error("namespace forwards Scrubber; a job could quarantine its neighbours' snapshots")
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("job A's report leaks job B's keys: %+v", rep.Quarantined)
+	}
+	if rep.Collateral != 1 {
+		t.Fatalf("Collateral = %d, want 1 (B's damage healed as a side effect)", rep.Collateral)
+	}
+	// The shared pass still healed B's namespace.
+	if _, err := jobB.Get(0, 0, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("jobB damaged key after A's scrub = %v, want ErrNotFound", err)
+	}
+}
+
+// TestNamespaceScrubNonScrubberInner: over a plain memory store the scrub
+// is a clean no-op, not a panic or an error.
+func TestNamespaceScrubNonScrubberInner(t *testing.T) {
+	ns, err := NewNamespace(NewMemory(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ns.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub over non-scrubber inner: %v", err)
+	}
+	if len(rep.Quarantined) != 0 || rep.Collateral != 0 || rep.TempFiles != 0 {
+		t.Fatalf("no-op scrub returned non-empty report: %+v", rep)
 	}
 }

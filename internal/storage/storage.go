@@ -105,6 +105,15 @@ var ErrCorrupt = errors.New("storage: snapshot corrupt")
 // backoff; any other error is treated as permanent.
 var ErrTransient = errors.New("storage: transient fault")
 
+// ErrFsync marks a failed fsync. It is deliberately NOT ErrTransient:
+// after a failed fsync the kernel may have dropped the dirty pages while
+// leaving the file descriptor clean, so a retried fsync can "succeed"
+// without the data ever reaching disk (the PostgreSQL fsyncgate failure
+// mode). A save failing with ErrFsync is permanently failed; the caller
+// must treat the process as crashed and re-derive state from what storage
+// actually holds.
+var ErrFsync = errors.New("storage: fsync failed")
+
 // SnapshotRef names one snapshot without carrying its state — used by
 // scrub reports to identify what was quarantined.
 type SnapshotRef struct {

@@ -1,0 +1,217 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// scriptInjector fires one scripted fault at a given per-shard consult
+// sequence number, recording whether it triggered.
+type scriptInjector struct {
+	mu    sync.Mutex
+	op    Op
+	seq   uint64
+	fault Fault
+	anyOp bool // match seq regardless of op
+	fired bool
+}
+
+func (si *scriptInjector) Decide(op Op, shard int, seq uint64, size int) Fault {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if si.fired {
+		return Fault{}
+	}
+	if (si.anyOp || op == si.op) && seq >= si.seq {
+		si.fired = true
+		return si.fault
+	}
+	return Fault{}
+}
+
+// TestCrashAtEveryConsultPoint walks the consult sequence: for step N it
+// runs a fixed workload with a kill injected at the N-th consult, then
+// reopens and checks the fundamental invariant — every Save that returned
+// nil is recovered intact, every Save that did not is either absent or
+// fully intact (never torn, never wrong).
+func TestCrashAtEveryConsultPoint(t *testing.T) {
+	for _, kill := range []Kill{KillBefore, KillAfter} {
+		for _, keep := range []int{0, 7} {
+			for step := uint64(0); step < 40; step++ {
+				t.Run(fmt.Sprintf("kill%d_keep%d_step%d", kill, keep, step), func(t *testing.T) {
+					si := &scriptInjector{anyOp: true, seq: step, fault: Fault{Kill: kill, Keep: keep}}
+					runCrashWorkload(t, si)
+				})
+			}
+		}
+	}
+}
+
+// TestCrashAtRotationAndCompaction targets the manifest protocol windows
+// specifically: kills at segment creation, manifest write/rename, and
+// retirement, under segment sizes small enough to force both rotation and
+// compaction inside the workload.
+func TestCrashAtRotationAndCompaction(t *testing.T) {
+	for _, op := range []Op{OpSegCreate, OpManifestWrite, OpManifestRename, OpRetire, OpDirSync} {
+		for _, kill := range []Kill{KillBefore, KillAfter} {
+			for step := uint64(0); step < 6; step++ {
+				si := &scriptInjector{op: op, seq: step, fault: Fault{Kill: kill}}
+				runCrashWorkload(t, si)
+			}
+		}
+	}
+}
+
+// runCrashWorkload drives saves and deletes into an injected store until
+// it dies (or the workload completes), then reopens WITHOUT an injector
+// and verifies the invariant against the recorded acks.
+func runCrashWorkload(t *testing.T, si *scriptInjector) {
+	t.Helper()
+	dir := t.TempDir()
+	opts := Options{Shards: 1, MaxSegmentBytes: 2 << 10, CompactMinDeadBytes: 1 << 10, Injector: si}
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	acked := map[recKey]bool{}        // Save returned nil
+	deleted := map[recKey]bool{}      // Delete returned nil
+	delAttempted := map[recKey]bool{} // Delete issued — acked or not, the
+	// tombstone may have been fsynced before the crash killed the ack
+	const n = 120
+	for i := 0; i < n; i++ {
+		k := recKey{i % 2, i / 2, 0}
+		if err := w.Save(snap(k.proc, k.index, k.instance)); err == nil {
+			acked[k] = true
+		} else if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("Save(%v) failed with non-crash error: %v", k, err)
+		}
+		if i%5 == 4 {
+			dk := recKey{(i - 2) % 2, (i - 2) / 2, 0}
+			err := w.Delete(dk.proc, dk.index, dk.instance)
+			if err == nil {
+				delete(acked, dk)
+				deleted[dk] = true
+				delAttempted[dk] = true
+			} else if errors.Is(err, ErrCrashed) {
+				delAttempted[dk] = true
+			} else if !errors.Is(err, storage.ErrNotFound) {
+				t.Fatalf("Delete(%v) failed oddly: %v", dk, err)
+			}
+		}
+	}
+	crashed := w.Killed()
+	w.Close()
+
+	w2, err := Open(dir, Options{Shards: 1})
+	if err != nil {
+		t.Fatalf("reopen after crash (fired=%v crashed=%v): %v", si.fired, crashed, err)
+	}
+	defer w2.Close()
+
+	for k := range acked {
+		s, err := w2.Get(k.proc, k.index, k.instance)
+		if err != nil {
+			if delAttempted[k] && errors.Is(err, storage.ErrNotFound) {
+				// An unacked Delete's tombstone beat the crash to disk.
+				continue
+			}
+			t.Fatalf("ACKED save %v lost after crash+reopen (injector fired=%v): %v", k, si.fired, err)
+		}
+		if want := k.proc*1000 + k.index*10 + k.instance; s.Vars["x"] != want {
+			t.Fatalf("acked save %v recovered with wrong body: %+v", k, s)
+		}
+	}
+	for k := range deleted {
+		if _, err := w2.Get(k.proc, k.index, k.instance); !errors.Is(err, storage.ErrNotFound) {
+			t.Fatalf("ACKED delete %v resurrected after crash+reopen: %v", k, err)
+		}
+	}
+	// Unacked keys: absent is fine (the crash beat the fsync); present must
+	// be fully intact (the fsync beat the crash) — never torn, never wrong.
+	for i := 0; i < n; i++ {
+		k := recKey{i % 2, i / 2, 0}
+		if acked[k] || deleted[k] {
+			continue
+		}
+		s, err := w2.Get(k.proc, k.index, k.instance)
+		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) || errors.Is(err, storage.ErrCorrupt) {
+				continue
+			}
+			t.Fatalf("unacked key %v read failed oddly: %v", k, err)
+		}
+		if want := k.proc*1000 + k.index*10 + k.instance; s.Vars["x"] != want {
+			t.Fatalf("unacked key %v served torn/wrong bytes: %+v", k, s)
+		}
+	}
+}
+
+// TestInjectedFlipServedAsCorrupt: a bit flip on an acknowledged record's
+// body must surface as ErrCorrupt on read — before AND after a reopen —
+// and never as the damaged bytes or a silent miss.
+func TestInjectedFlipServedAsCorrupt(t *testing.T) {
+	for step := uint64(0); step < 10; step++ {
+		si := &scriptInjector{op: OpAppend, seq: step, fault: Fault{Flip: true, FlipAt: 3}}
+		dir := t.TempDir()
+		w, err := Open(dir, Options{Shards: 1, Injector: si})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ackedKeys []recKey
+		for i := 0; i < 10; i++ {
+			k := recKey{0, i, 0}
+			if err := w.Save(snap(0, i, 0)); err != nil {
+				t.Fatalf("Save under flip injection must still ack: %v", err)
+			}
+			ackedKeys = append(ackedKeys, k)
+		}
+		if !si.fired {
+			t.Fatal("flip never fired")
+		}
+		countCorrupt := func(w *Store) int {
+			n := 0
+			for _, k := range ackedKeys {
+				s, err := w.Get(k.proc, k.index, k.instance)
+				switch {
+				case err == nil:
+					if want := k.index * 10; s.Vars["x"] != want {
+						t.Fatalf("flip served as valid data: %+v", s)
+					}
+				case errors.Is(err, storage.ErrCorrupt):
+					n++
+				default:
+					t.Fatalf("Get(%v) = %v, want nil or ErrCorrupt", k, err)
+				}
+			}
+			return n
+		}
+		live := countCorrupt(w)
+		if live != 1 {
+			t.Fatalf("step %d: %d corrupt keys live, want exactly 1", step, live)
+		}
+		w.Close()
+		w2, err := Open(dir, Options{Shards: 1})
+		if err != nil {
+			t.Fatalf("reopen over flipped record: %v", err)
+		}
+		if re := countCorrupt(w2); re != 1 {
+			t.Fatalf("step %d: %d corrupt keys after reopen, want exactly 1", step, re)
+		}
+		w2.Close()
+	}
+}
+
+// TestTornBatchPartialKeep: a crash that lets only part of an unsynced
+// batch land produces a torn tail; reopen truncates it and recovers
+// everything fsynced before.
+func TestTornBatchPartialKeep(t *testing.T) {
+	for keep := 1; keep < 60; keep += 7 {
+		si := &scriptInjector{op: OpSync, seq: 3, fault: Fault{Kill: KillBefore, Keep: keep}}
+		runCrashWorkload(t, si)
+	}
+}

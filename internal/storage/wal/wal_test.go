@@ -1,0 +1,468 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+func snap(proc, index, instance int) storage.Snapshot {
+	clock := vclock.New(proc + 1)
+	clock[proc] = uint64(instance + 1)
+	return storage.Snapshot{
+		Proc: proc, CFGIndex: index, Instance: instance,
+		Clock: clock,
+		Vars:  map[string]int{"x": proc*1000 + index*10 + instance},
+		PC:    fmt.Sprintf("s%d_%d_%d", proc, index, instance),
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := mustOpen(t, t.TempDir(), Options{Shards: 4})
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 4; i++ {
+			for k := 0; k < 2; k++ {
+				if err := w.Save(snap(p, i, k)); err != nil {
+					t.Fatalf("Save(%d,%d,%d): %v", p, i, k, err)
+				}
+			}
+		}
+	}
+	s, err := w.Get(1, 2, 1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if s.Vars["x"] != 1021 || s.PC != "s1_2_1" {
+		t.Fatalf("Get returned wrong snapshot: %+v", s)
+	}
+	if s, err = w.Latest(2, 3); err != nil || s.Instance != 1 {
+		t.Fatalf("Latest = %+v, %v; want instance 1", s, err)
+	}
+	list, err := w.List(1)
+	if err != nil || len(list) != 8 {
+		t.Fatalf("List(1) = %d snaps, %v; want 8", len(list), err)
+	}
+	for i := 1; i < len(list); i++ {
+		a, b := list[i-1], list[i]
+		if a.CFGIndex > b.CFGIndex || (a.CFGIndex == b.CFGIndex && a.Instance >= b.Instance) {
+			t.Fatalf("List order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+	idx, err := w.Indexes(3)
+	if err != nil || len(idx) != 4 {
+		t.Fatalf("Indexes(3) = %v, %v; want 4 indexes", idx, err)
+	}
+	if _, err := w.Get(9, 9, 9); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := w.Save(snap(1, 2, 1)); !errors.Is(err, storage.ErrDuplicate) {
+		t.Fatalf("duplicate Save = %v, want ErrDuplicate", err)
+	}
+	if err := w.Delete(1, 2, 1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := w.Get(1, 2, 1); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+	if err := w.Delete(1, 2, 1); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("double Delete = %v, want ErrNotFound", err)
+	}
+	// A deleted key can be saved again.
+	if err := w.Save(snap(1, 2, 1)); err != nil {
+		t.Fatalf("re-Save after Delete: %v", err)
+	}
+}
+
+func TestReopenRecoversEverything(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 4})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := w.Save(snap(i%5, i/5, 0)); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	if err := w.Delete(0, 0, 0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2 := mustOpen(t, dir, Options{Shards: 4})
+	if _, err := w2.Get(0, 0, 0); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("deleted key resurrected after reopen: %v", err)
+	}
+	for i := 1; i < n; i++ {
+		p, idx := i%5, i/5
+		s, err := w2.Get(p, idx, 0)
+		if err != nil {
+			t.Fatalf("Get(%d,%d) after reopen: %v", p, idx, err)
+		}
+		if s.Vars["x"] != p*1000+idx*10 {
+			t.Fatalf("recovered snapshot differs: %+v", s)
+		}
+	}
+	if got := w2.Stats().Recovered; got < n {
+		t.Fatalf("Stats.Recovered = %d, want >= %d", got, n)
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	w := mustOpen(t, t.TempDir(), Options{Shards: 1, MaxBatch: 64})
+	const n = 256
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Save(snap(0, i, 0))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	st := w.Stats()
+	if st.Saves != n {
+		t.Fatalf("Saves = %d, want %d", st.Saves, n)
+	}
+	if st.Batches >= n {
+		t.Fatalf("no batching: %d batches for %d saves", st.Batches, n)
+	}
+	t.Logf("amortization: %d saves in %d group commits", st.Saves, st.Batches)
+}
+
+// TestTornTailTruncated simulates a crash mid-append by chopping bytes off
+// a segment file out-of-band: reopen must truncate the incomplete trailing
+// frame and keep every record before it.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 1})
+	for i := 0; i < 10; i++ {
+		if err := w.Save(snap(0, i, 0)); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	w.Close()
+
+	path := filepath.Join(dir, "s0-0.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the last frame: drop 5 trailing bytes.
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := mustOpen(t, dir, Options{Shards: 1})
+	if w2.Stats().TruncatedBytes == 0 {
+		t.Fatal("no torn tail truncated")
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := w2.Get(0, i, 0); err != nil {
+			t.Fatalf("Get(0,%d) after torn tail: %v", i, err)
+		}
+	}
+	// The torn record is gone — as if the append never completed.
+	if _, err := w2.Get(0, 9, 0); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("torn record served: %v", err)
+	}
+	// And its key is writable again.
+	if err := w2.Save(snap(0, 9, 0)); err != nil {
+		t.Fatalf("re-Save torn key: %v", err)
+	}
+}
+
+// TestInteriorCorruptionQuarantined flips a byte inside a mid-log record's
+// body: reopen must quarantine exactly that key as ErrCorrupt — not abort
+// recovery, not serve the damaged bytes, not drop the key silently.
+func TestInteriorCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 1})
+	for i := 0; i < 10; i++ {
+		if err := w.Save(snap(0, i, 0)); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	var victim loc
+	sh := w.shards[0]
+	sh.mu.Lock()
+	victim = sh.index[recKey{0, 4, 0}]
+	sh.mu.Unlock()
+	w.Close()
+
+	path := filepath.Join(dir, "s0-0.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the victim's JSON body (past the frame+payload heads).
+	data[victim.off+frameHeader+payloadHead+2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := mustOpen(t, dir, Options{Shards: 1})
+	if _, err := w2.Get(0, 4, 0); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("damaged record Get = %v, want ErrCorrupt", err)
+	}
+	if _, err := w2.Latest(0, 4); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("damaged record Latest = %v, want ErrCorrupt", err)
+	}
+	if _, err := w2.List(0); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("List over damaged proc = %v, want ErrCorrupt (strict)", err)
+	}
+	for i := 0; i < 10; i++ {
+		if i == 4 {
+			continue
+		}
+		if _, err := w2.Get(0, i, 0); err != nil {
+			t.Fatalf("healthy neighbor Get(0,%d): %v", i, err)
+		}
+	}
+	// Scrub quarantines it durably; the key becomes savable again.
+	rep, err := w2.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].CFGIndex != 4 {
+		t.Fatalf("Scrub report = %+v, want exactly (0,4,0)", rep)
+	}
+	if _, err := w2.Get(0, 4, 0); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Get after scrub = %v, want ErrNotFound", err)
+	}
+	if err := w2.Save(snap(0, 4, 0)); err != nil {
+		t.Fatalf("re-Save after scrub: %v", err)
+	}
+	w2.Close()
+
+	// The scrub is durable: the mark must not resurrect on reopen.
+	w3 := mustOpen(t, dir, Options{Shards: 1})
+	if s, err := w3.Get(0, 4, 0); err != nil || s.Vars["x"] != 40 {
+		t.Fatalf("regenerated record after reopen = %+v, %v", s, err)
+	}
+}
+
+// TestQuarantineMarkSurvivesReopen: a key quarantined at read time (rot
+// detected) must still read ErrCorrupt after a reopen — recovery rebuilds
+// the mark from the damaged bytes still in the log.
+func TestQuarantineMarkSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 1})
+	for i := 0; i < 3; i++ {
+		if err := w.Save(snap(0, i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	w2 := mustOpen(t, dir, Options{Shards: 1})
+	// Damage index 1's body on disk while the store is open.
+	sh := w2.shards[0]
+	sh.mu.Lock()
+	l := sh.index[recKey{0, 1, 0}]
+	f := sh.files[l.seg]
+	if _, err := f.WriteAt([]byte{0xFF}, l.off+frameHeader+payloadHead+2); err != nil {
+		sh.mu.Unlock()
+		t.Fatal(err)
+	}
+	sh.mu.Unlock()
+	if _, err := w2.Get(0, 1, 0); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("Get rotted = %v, want ErrCorrupt", err)
+	}
+	w2.Close()
+	w3 := mustOpen(t, dir, Options{Shards: 1})
+	if _, err := w3.Get(0, 1, 0); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("rot mark lost across reopen: %v", err)
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotations; compaction auto-triggers on dead bytes.
+	w := mustOpen(t, dir, Options{Shards: 2, MaxSegmentBytes: 4 << 10, CompactMinDeadBytes: 2 << 10})
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := w.Save(snap(i%3, i/3, 0)); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	// Delete two thirds to create garbage.
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			continue
+		}
+		if err := w.Delete(i%3, i/3, 0); err != nil {
+			t.Fatalf("Delete %d: %v", i, err)
+		}
+	}
+	if err := w.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := w.Stats()
+	if st.Rotations == 0 {
+		t.Fatal("tiny segments never rotated")
+	}
+	if st.Compactions == 0 {
+		t.Fatal("compaction never ran")
+	}
+	w.Close()
+
+	w2 := mustOpen(t, dir, Options{Shards: 2})
+	for i := 0; i < n; i++ {
+		p, idx := i%3, i/3
+		_, err := w2.Get(p, idx, 0)
+		if i%3 == 0 {
+			if err != nil {
+				t.Fatalf("live key (%d,%d) lost after compaction+reopen: %v", p, idx, err)
+			}
+		} else if !errors.Is(err, storage.ErrNotFound) {
+			t.Fatalf("deleted key (%d,%d) resurrected: %v", p, idx, err)
+		}
+	}
+}
+
+// TestOrphanSegmentsDeleted: segment files the manifest does not name
+// (an interrupted compaction's output) are removed on open.
+func TestOrphanSegmentsDeleted(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 1})
+	if err := w.Save(snap(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	orphan := filepath.Join(dir, "s0-77.seg")
+	if err := os.WriteFile(orphan, encodeFrame(kindPut, recKey{9, 9, 9}, []byte(`{"proc":9,"cfgIndex":9,"instance":9}`)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := mustOpen(t, dir, Options{Shards: 1})
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan segment survived open: %v", err)
+	}
+	if _, err := w2.Get(9, 9, 9); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("orphan record leaked into the index: %v", err)
+	}
+}
+
+// TestManifestNamesMissingLastSegment: a rotation crash window — manifest
+// renamed, segment file never created — recovers as an empty active
+// segment.
+func TestManifestNamesMissingLastSegment(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 1})
+	if err := w.Save(snap(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sh := w.shards[0]
+	sh.mu.Lock()
+	m := manifest{Segments: append(append([]uint64(nil), sh.segs...), sh.nextSeg), Next: sh.nextSeg + 1}
+	err := sh.writeManifest(m, false)
+	sh.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2 := mustOpen(t, dir, Options{Shards: 1})
+	if _, err := w2.Get(0, 0, 0); err != nil {
+		t.Fatalf("record lost across rotation crash window: %v", err)
+	}
+	if err := w2.Save(snap(0, 1, 0)); err != nil {
+		t.Fatalf("Save into recovered empty active: %v", err)
+	}
+}
+
+// TestMissingInteriorSegmentFatal: acknowledged data vanishing wholesale
+// (a non-last manifest segment missing) must fail open loudly.
+func TestMissingInteriorSegmentFatal(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 1, MaxSegmentBytes: 1 << 10})
+	for i := 0; i < 50; i++ {
+		if err := w.Save(snap(0, i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Stats().Rotations == 0 {
+		t.Fatal("test needs at least one rotation")
+	}
+	w.Close()
+	if err := os.Remove(filepath.Join(dir, "s0-0.seg")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Shards: 1}); err == nil {
+		t.Fatal("Open succeeded with an interior segment missing")
+	}
+}
+
+// TestFsyncGatePoisonsStore: a real fsync failure must fail the Save with
+// storage.ErrFsync (permanent, NOT ErrTransient) and poison the store
+// until reopen — retrying the fsync could silently "succeed" without the
+// data on disk.
+func TestFsyncGatePoisonsStore(t *testing.T) {
+	orig := fsyncFile
+	defer func() { fsyncFile = orig }()
+
+	w := mustOpen(t, t.TempDir(), Options{Shards: 1})
+	if err := w.Save(snap(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	fsyncFile = func(f *os.File) error {
+		if fail {
+			return errors.New("injected EIO")
+		}
+		return orig(f)
+	}
+	err := w.Save(snap(0, 1, 0))
+	if !errors.Is(err, storage.ErrFsync) {
+		t.Fatalf("Save under failing fsync = %v, want ErrFsync", err)
+	}
+	if errors.Is(err, storage.ErrTransient) {
+		t.Fatal("ErrFsync must not be transient: a retried fsync can lie")
+	}
+	fail = false
+	// The store is poisoned even though fsync "works" again.
+	if err := w.Save(snap(0, 2, 0)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Save after fsync failure = %v, want ErrCrashed", err)
+	}
+	if !w.Killed() {
+		t.Fatal("store not marked killed after fsync failure")
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	if err := w.Save(snap(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(snap(0, 1, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Save after Close = %v, want ErrClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}

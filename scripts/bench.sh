@@ -59,4 +59,11 @@ run_set fleet \
     BENCH_fleet.json \
     ./internal/fleet/
 
+# Durable stores: 1000-job aggregate save throughput (the WAL's group
+# commit vs the file store's fsync-per-save) plus uncontended save latency.
+run_set store \
+    'BenchmarkStoreAggregateSave|BenchmarkStoreSingleSave' \
+    BENCH_store.json \
+    .
+
 echo 'bench OK'

@@ -31,6 +31,9 @@ go test -race -run 'TestChaosSoak' -count=1 .
 echo '>> network chaos soak (go test -race -run TestNetChaosSoak -count=1 .)'
 go test -race -run 'TestNetChaosSoak' -count=1 .
 
+echo '>> WAL crash soak (go test -race -run TestWALChaosSoak -count=1 .)'
+go test -race -run 'TestWALChaosSoak' -count=1 .
+
 echo '>> fleet soak (go test -race -run TestFleetSoak -count=1 .)'
 go test -race -run 'TestFleetSoak' -count=1 .
 

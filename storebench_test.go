@@ -1,0 +1,99 @@
+package repro_test
+
+// Store benchmarks: the durability cost of checkpointing at fleet scale.
+// BenchmarkStoreAggregateSave is the headline number behind BENCH_store.json:
+// 1000 concurrent jobs each persisting one checkpoint into a shared durable
+// store. The file store pays two fsyncs per save (data + directory); the WAL
+// store's group commit folds concurrent saves into one fsync per batch, which
+// is where its aggregate throughput multiple comes from.
+// BenchmarkStoreSingleSave is the contrast case — one uncontended saver,
+// where batching cannot help and only the per-save protocol differs.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/wal"
+	"repro/internal/vclock"
+)
+
+func benchStore(b *testing.B, kind string) storage.Store {
+	b.Helper()
+	switch kind {
+	case "wal":
+		ws, err := wal.Open(b.TempDir(), wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { ws.Close() })
+		return ws
+	case "file":
+		fs, err := storage.NewFile(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fs
+	default:
+		b.Fatalf("unknown store kind %q", kind)
+		return nil
+	}
+}
+
+func benchSnap(proc, instance int) storage.Snapshot {
+	clk := vclock.New(4)
+	clk[0] = uint64(instance + 1)
+	return storage.Snapshot{
+		Proc: proc, CFGIndex: 1, Instance: instance,
+		Clock: clk,
+		Vars:  map[string]int{"x": proc, "y": instance, "sum": proc + instance},
+		PC:    fmt.Sprintf("s%d", instance),
+	}
+}
+
+// BenchmarkStoreAggregateSave measures fleet-aggregate durable save
+// throughput: 1000 concurrent savers per iteration against one shared
+// store, every save individually acknowledged-durable before it returns.
+func BenchmarkStoreAggregateSave(b *testing.B) {
+	const jobs = 1000
+	for _, kind := range []string{"wal", "file"} {
+		b.Run(kind, func(b *testing.B) {
+			st := benchStore(b, kind)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				wg.Add(jobs)
+				for j := 0; j < jobs; j++ {
+					go func(j int) {
+						defer wg.Done()
+						if err := st.Save(benchSnap(j, i)); err != nil {
+							b.Error(err)
+						}
+					}(j)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "saves/s")
+		})
+	}
+}
+
+// BenchmarkStoreSingleSave measures uncontended save latency — one saver,
+// no batching opportunity.
+func BenchmarkStoreSingleSave(b *testing.B) {
+	for _, kind := range []string{"wal", "file"} {
+		b.Run(kind, func(b *testing.B) {
+			st := benchStore(b, kind)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Save(benchSnap(0, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
