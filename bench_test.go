@@ -5,12 +5,19 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dataflow"
+	"repro/internal/insert"
 	"repro/internal/markov"
+	"repro/internal/match"
 	"repro/internal/montecarlo"
+	"repro/internal/mpl"
+	"repro/internal/place"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
 // BenchmarkFigure8 regenerates the paper's Figure 8 (overhead ratio vs
@@ -126,6 +133,92 @@ func BenchmarkTransformPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, p := range progs {
 			if _, err := core.Transform(p, core.DefaultConfig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTransformPipelineLarge is BenchmarkTransformPipeline over
+// generated large programs (deep loop nests, an order of magnitude more
+// statements than the corpus) — the scaling story for the same pipeline.
+func BenchmarkTransformPipelineLarge(b *testing.B) {
+	var progs []*mpl.Program
+	for seed := int64(1); seed <= 8; seed++ {
+		progs = append(progs, verify.GenerateLarge(seed, 6))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := core.Transform(p, core.DefaultConfig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Per-phase sub-benchmarks: each isolates one stage of the transform so a
+// regression in the aggregate pipeline benchmark can be attributed.
+
+// BenchmarkPipelineCFGBuild times CFG construction alone across the corpus.
+func BenchmarkPipelineCFGBuild(b *testing.B) {
+	progs := corpus.All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := cfg.Build(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPipelineMatch times Phase II (extended-CFG matching) across the
+// corpus, with graphs and dataflow results prebuilt outside the timer.
+func BenchmarkPipelineMatch(b *testing.B) {
+	type input struct {
+		p  *mpl.Program
+		g  *cfg.Graph
+		df *dataflow.Result
+	}
+	var inputs []input
+	for _, p := range corpus.All() {
+		g, err := cfg.Build(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs = append(inputs, input{p: p, g: g, df: dataflow.Analyze(p)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range inputs {
+			if _, err := match.Match(in.p, in.g, in.df, match.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPipelinePlace times Phase III (the move-reanalyze fixpoint) on
+// Phase-I-applied programs, checkpoint insertion done outside the timer.
+func BenchmarkPipelinePlace(b *testing.B) {
+	var progs []*mpl.Program
+	for _, p := range corpus.All() {
+		work := mpl.Clone(p)
+		if _, err := insert.InsertCheckpoints(work, insert.DefaultCostModel); err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, work)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			opts := place.DefaultOptions
+			opts.Arena = &cfg.Arena{}
+			if _, err := place.Ensure(p, opts); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -155,12 +155,16 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) (code i
 	counters := &metrics.Counters{}
 	observer := obs.Multi(observers...)
 	if *telAddr != "" || *dash {
-		agg := telemetry.New(telemetry.Config{
+		tcfg := telemetry.Config{
 			Nproc:    *nproc,
 			Window:   *telWindow,
 			Counters: counters,
 			Sink:     observer,
-		})
+		}
+		if walStore != nil {
+			tcfg.WALStats = walStore.Stats
+		}
+		agg := telemetry.New(tcfg)
 		observer = obs.Multi(observer, agg)
 		stopTick := agg.Start()
 		if *telAddr != "" {

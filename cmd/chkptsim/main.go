@@ -251,10 +251,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	// layers built below publish into it too), samples the run's counters
 	// every window, and pushes detector verdicts back into the recorder
 	// and event stream — never into itself.
+	var agg *telemetry.Aggregator
 	if *telAddr != "" || *dash {
 		counters := &metrics.Counters{}
 		cfg.Counters = counters
-		agg := telemetry.New(telemetry.Config{
+		agg = telemetry.New(telemetry.Config{
 			Nproc:        *nproc,
 			Window:       *telWindow,
 			Counters:     counters,
@@ -318,6 +319,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		defer ws.Close()
 		walStore = ws
 		cfg.Store = ws
+		if agg != nil {
+			agg.SetWALStats(ws.Stats)
+		}
 	default:
 		fileStore, err := storage.NewFile(*storeKind)
 		if err != nil {

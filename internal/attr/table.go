@@ -1,0 +1,147 @@
+package attr
+
+import "math/bits"
+
+// This file is the solver's memoized fast path. CanMatch enumerates
+// (n, p, q) triples and re-evaluates both path attributes and both
+// parameter expressions inside the innermost loop — a tree-walking Eval
+// per probe. Phase II calls CanMatch once per send×receive pair per
+// fixpoint round, so the same per-node predicates and parameters are
+// re-evaluated thousands of times across a Transform.
+//
+// A Table precomputes, once per node, everything CanMatch ever asks about
+// it: a per-n bitmask of the ranks where the path attribute holds, and a
+// per-(n, rank) value table for the parameter. CanMatchTables then decides
+// a pair with pure bit iteration and array lookups — no Eval calls — and
+// is exactly equivalent to CanMatch (asserted by TestTableEquivalence).
+
+// tableNoValue marks a rank where the parameter imposes no equation:
+// wildcard parameters everywhere, and ranks where evaluation errs (EvalAt
+// reports ok=false, which CanMatch treats as "no constraint").
+const tableNoValue = int64(-1 << 62)
+
+// Table is the precomputed view of one node's (path attribute, parameter)
+// pair over the solver's bounded enumeration.
+type Table struct {
+	lo, hi int
+	// back packs the whole table into one allocation: the first hi-lo+1
+	// entries are hold bitmasks (back[n-lo] bit p set ⇔ predicate holds at
+	// (p, n), stored as int64), followed by the value rows at stride hi
+	// (value at (p, n) is back[(hi-lo+1)+(n-lo)*hi+p]).
+	back []int64
+}
+
+// holdMask returns the predicate bitmask for row i = n-lo.
+func (t *Table) holdMask(i int) uint64 { return uint64(t.back[i]) }
+
+// valRow returns the parameter-value row for row i = n-lo.
+func (t *Table) valRow(i int) []int64 {
+	off := (t.hi - t.lo + 1) + i*t.hi
+	return t.back[off : off+t.hi]
+}
+
+// Table precomputes pr and param over the solver's bounds. It returns nil
+// when the bounds exceed the 64-rank bitmask representation (MaxProcs >
+// 64); callers fall back to CanMatch.
+func (s Solver) Table(pr Predicate, param Param) *Table {
+	t := &Table{}
+	if !s.TableInto(pr, param, t) {
+		return nil
+	}
+	return t
+}
+
+// SlabTables returns n empty Tables whose backings are carved from one
+// shared allocation sized for this solver's bounds — two allocations for
+// the whole batch instead of two per table. Fill them with TableInto. The
+// result is nil when the bounds exceed the table representation (callers
+// fall back to CanMatch anyway).
+func (s Solver) SlabTables(n int) []Table {
+	lo, hi := s.bounds()
+	if hi > 64 || n <= 0 {
+		return nil
+	}
+	k := hi - lo + 1
+	need := k + k*hi
+	back := make([]int64, n*need)
+	ts := make([]Table, n)
+	for i := range ts {
+		ts[i] = Table{back: back[i*need : i*need : (i+1)*need]}
+	}
+	return ts
+}
+
+// TableInto is Table into caller-owned storage: it fills *t, reusing
+// t.back when it is large enough, and reports whether the bounds fit the
+// table representation. Callers batching many tables (the matcher builds
+// one per communication node) can slab-allocate the Table values
+// themselves (SlabTables) and pay no per-table allocation at all.
+func (s Solver) TableInto(pr Predicate, param Param, t *Table) bool {
+	lo, hi := s.bounds()
+	if hi > 64 {
+		return false
+	}
+	k := hi - lo + 1
+	need := k + k*hi
+	t.lo, t.hi = lo, hi
+	if cap(t.back) >= need {
+		t.back = t.back[:need]
+	} else {
+		t.back = make([]int64, need)
+	}
+	for n := lo; n <= hi; n++ {
+		i := n - lo
+		row := t.valRow(i)
+		var mask uint64
+		for p := 0; p < n; p++ {
+			if pr.HoldsAt(p, n) {
+				mask |= 1 << uint(p)
+			}
+			if v, ok := param.EvalAt(p, n); ok {
+				row[p] = int64(v)
+			} else {
+				row[p] = tableNoValue
+			}
+		}
+		// Slots past n are never consulted (mask bits only cover p < n);
+		// zero them anyway so a reused backing yields a deterministic table.
+		for p := n; p < hi; p++ {
+			row[p] = 0
+		}
+		t.back[i] = int64(mask)
+	}
+	return true
+}
+
+// CanMatchTables is CanMatch over precomputed tables: ∃ n, ∃ p ≠ q with
+// send's attribute at p, recv's at q, send's parameter (the destination)
+// evaluating to q at p, and recv's parameter (the source) evaluating to p
+// at q — where a wildcard or erroring parameter imposes no equation. Both
+// tables must come from the same Solver bounds.
+func CanMatchTables(send, recv *Table) bool {
+	for i := 0; i <= send.hi-send.lo; i++ {
+		sh, rh := send.holdMask(i), recv.holdMask(i)
+		if sh == 0 || rh == 0 {
+			continue
+		}
+		sv, rv := send.valRow(i), recv.valRow(i)
+		for sw := sh; sw != 0; sw &= sw - 1 {
+			p := bits.TrailingZeros64(sw)
+			d := sv[p]
+			for rw := rh; rw != 0; rw &= rw - 1 {
+				q := bits.TrailingZeros64(rw)
+				if q == p {
+					continue
+				}
+				if d != tableNoValue && d != int64(q) {
+					continue
+				}
+				if src := rv[q]; src != tableNoValue && src != int64(p) {
+					continue
+				}
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package attr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpl"
+)
+
+// randExpr builds a random closed expression over rank/nproc, including
+// shapes that err at some ranks (division/mod by rank-dependent values).
+func randExpr(r *rand.Rand, depth int) mpl.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return mpl.Rank()
+		case 1:
+			return mpl.Nproc()
+		default:
+			return mpl.Int(r.Intn(7) - 2)
+		}
+	}
+	l, rr := randExpr(r, depth-1), randExpr(r, depth-1)
+	switch r.Intn(7) {
+	case 0:
+		return mpl.Add(l, rr)
+	case 1:
+		return mpl.Sub(l, rr)
+	case 2:
+		return mpl.Mul(l, rr)
+	case 3:
+		return mpl.Div(l, rr)
+	case 4:
+		return mpl.Mod(l, rr)
+	case 5:
+		return mpl.Eq(l, rr)
+	default:
+		return mpl.Lt(l, rr)
+	}
+}
+
+func randPredicate(r *rand.Rand) Predicate {
+	var pr Predicate
+	for k := r.Intn(3); k > 0; k-- {
+		pr = pr.And(Constraint{Cond: randExpr(r, 2), Want: r.Intn(2) == 0})
+	}
+	return pr
+}
+
+func randParam(r *rand.Rand) Param {
+	if r.Intn(4) == 0 {
+		return WildcardParam
+	}
+	return ExprParam(randExpr(r, 2))
+}
+
+// TestTableEquivalence is the contract of the memoized fast path: for any
+// predicate/parameter pair, CanMatchTables must agree with CanMatch.
+func TestTableEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	solvers := []Solver{DefaultSolver, {MinProcs: 1, MaxProcs: 5}, {MinProcs: 3, MaxProcs: 3}}
+	for trial := 0; trial < 2000; trial++ {
+		s := solvers[trial%len(solvers)]
+		sendPath, recvPath := randPredicate(r), randPredicate(r)
+		dest, src := randParam(r), randParam(r)
+		want := s.CanMatch(sendPath, dest, recvPath, src)
+		st := s.Table(sendPath, dest)
+		rt := s.Table(recvPath, src)
+		if st == nil || rt == nil {
+			t.Fatal("Table returned nil within 64-rank bounds")
+		}
+		if got := CanMatchTables(st, rt); got != want {
+			t.Fatalf("trial %d (solver %+v): CanMatchTables = %v, CanMatch = %v\nsend %s dest %s\nrecv %s src %s",
+				trial, s, got, want, sendPath, dest, recvPath, src)
+		}
+	}
+}
+
+// TestTableWideBoundsFallback pins the nil fallback above 64 ranks.
+func TestTableWideBoundsFallback(t *testing.T) {
+	s := Solver{MinProcs: 2, MaxProcs: 65}
+	if s.Table(nil, WildcardParam) != nil {
+		t.Error("Table should decline MaxProcs > 64")
+	}
+	if s64 := (Solver{MinProcs: 2, MaxProcs: 64}); s64.Table(nil, WildcardParam) == nil {
+		t.Error("Table should accept MaxProcs = 64")
+	}
+}

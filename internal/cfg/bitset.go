@@ -27,6 +27,18 @@ func (b Bitset) Clone() Bitset {
 	return c
 }
 
+// CopyFrom overwrites b with the contents of o. The two sets must have the
+// same capacity.
+func (b Bitset) CopyFrom(o Bitset) { copy(b, o) }
+
+// Zero clears every bit, keeping the capacity — the reuse primitive the
+// analysis scratch buffers lean on.
+func (b Bitset) Zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 // IntersectWith keeps only bits present in both sets.
 func (b Bitset) IntersectWith(o Bitset) {
 	for i := range b {
@@ -65,13 +77,19 @@ func (b Bitset) Count() int {
 
 // Members returns the indexes of all set bits in ascending order.
 func (b Bitset) Members() []int {
-	out := make([]int, 0, b.Count())
+	return b.AppendMembers(make([]int, 0, b.Count()))
+}
+
+// AppendMembers appends the indexes of all set bits in ascending order to
+// dst and returns the extended slice — the allocation-free variant of
+// Members for callers that own a reusable buffer (pass dst[:0]).
+func (b Bitset) AppendMembers(dst []int) []int {
 	for i, w := range b {
 		for w != 0 {
 			j := bits.TrailingZeros64(w)
-			out = append(out, i*64+j)
+			dst = append(dst, i*64+j)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
 }

@@ -13,6 +13,7 @@ package cfg
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mpl"
 )
@@ -92,10 +93,23 @@ type Edge struct {
 
 // Node is one CFG node.
 type Node struct {
-	ID    int
-	Kind  NodeKind
-	Stmt  mpl.Stmt // nil for entry/exit
-	Label string
+	ID   int
+	Kind NodeKind
+	Stmt mpl.Stmt // nil for entry/exit
+}
+
+// Label names the node for diagnostics and DOT rendering. It is computed
+// on demand: labels are pure presentation, and eagerly formatting one per
+// node used to dominate CFG construction cost.
+func (n *Node) Label() string {
+	switch n.Kind {
+	case KindEntry:
+		return "ENTRY"
+	case KindExit:
+		return "EXIT"
+	default:
+		return mpl.DescribeStmt(n.Stmt)
+	}
 }
 
 // Graph is a control-flow graph. Nodes are indexed by ID (dense, starting
@@ -106,27 +120,32 @@ type Graph struct {
 	Entry int
 	Exit  int
 
-	succs [][]int // edge indexes by From
-	preds [][]int // edge indexes by To
+	// Grouped adjacency, built once after construction: succEdges[id] and
+	// predEdges[id] are subslices of two shared backing arrays, so Succs
+	// and Preds are allocation-free.
+	succEdges [][]Edge
+	predEdges [][]Edge
+
+	// Cached analyses. A Graph is immutable after Build, so dominator sets
+	// and back edges are computed at most once; the sync.Once guards make
+	// the caches safe under concurrent read-only use (parallel analysis).
+	domOnce  sync.Once
+	dom      []Bitset
+	backOnce sync.Once
+	back     []Edge
+
+	// cache is the BuildCache this graph was carved from (nil for plain
+	// Build); the lazy analyses reuse its buffers too.
+	cache *BuildCache
 }
 
-// Succs returns the edges leaving node id.
-func (g *Graph) Succs(id int) []Edge {
-	out := make([]Edge, len(g.succs[id]))
-	for i, ei := range g.succs[id] {
-		out[i] = g.Edges[ei]
-	}
-	return out
-}
+// Succs returns the edges leaving node id. The returned slice is shared —
+// callers must not modify it.
+func (g *Graph) Succs(id int) []Edge { return g.succEdges[id] }
 
-// Preds returns the edges entering node id.
-func (g *Graph) Preds(id int) []Edge {
-	out := make([]Edge, len(g.preds[id]))
-	for i, ei := range g.preds[id] {
-		out[i] = g.Edges[ei]
-	}
-	return out
-}
+// Preds returns the edges entering node id. The returned slice is shared —
+// callers must not modify it.
+func (g *Graph) Preds(id int) []Edge { return g.predEdges[id] }
 
 // NodeByStmtID returns the node for a statement id, or nil.
 func (g *Graph) NodeByStmtID(stmtID int) *Node {
@@ -140,48 +159,185 @@ func (g *Graph) NodeByStmtID(stmtID int) *Node {
 
 // NodesOfKind returns the ids of all nodes with the given kind, in id order.
 func (g *Graph) NodesOfKind(kind NodeKind) []int {
-	var out []int
+	return g.AppendNodesOfKind(kind, nil)
+}
+
+// AppendNodesOfKind appends the ids of all nodes with the given kind, in id
+// order, to dst — the allocation-free variant of NodesOfKind.
+func (g *Graph) AppendNodesOfKind(kind NodeKind, dst []int) []int {
 	for _, n := range g.Nodes {
 		if n.Kind == kind {
-			out = append(out, n.ID)
+			dst = append(dst, n.ID)
 		}
 	}
-	return out
+	return dst
 }
 
-// builder state for Build.
+// builder state for Build. Nodes are carved from one slab sized to the
+// statement count (every statement yields exactly one node, plus
+// entry/exit), so construction performs no per-node allocation. spare
+// recycles dead frontier backings (see Build) so nested control flow
+// stops allocating once the deepest nesting has been visited.
 type builder struct {
-	g *Graph
+	g     *Graph
+	slab  []Node
+	spare [][]dangling
 }
 
-func (b *builder) newNode(kind NodeKind, stmt mpl.Stmt, label string) int {
+// dangling is a (node, edge-kind) pair awaiting connection to the next
+// node in sequence during construction.
+type dangling struct {
+	from int
+	kind EdgeKind
+}
+
+// BuildCache recycles CFG construction buffers across repeated builds —
+// the fixpoint driver in place rebuilds the CFG every round, and without
+// reuse each rebuild pays the full slab/adjacency/dominator allocation
+// bill again. A graph produced by BuildCached aliases its cache's
+// buffers, so it is valid only until the next BuildCached call with the
+// same cache; callers that need a graph to outlive the cache (or build
+// concurrently) pass nil. Not safe for concurrent use.
+type BuildCache struct {
+	slab        []Node
+	nodes       []*Node
+	edges       []Edge
+	deg         []int
+	edgeBacking []Edge
+	adj         [][]Edge
+	spare       [][]dangling
+
+	// Lazy-analysis buffers (Dominators / BackEdges).
+	domWords []uint64
+	dom      []Bitset
+	meet     Bitset
+	back     []Edge
+}
+
+// grown returns buf with length 0 and capacity ≥ n, reusing its backing
+// array when possible. Contents are garbage; callers append.
+func grown[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:0]
+	}
+	return make([]T, 0, n)
+}
+
+// grownLen returns buf with length exactly n, reusing its backing array
+// when possible. Contents are garbage; callers must overwrite every entry.
+func grownLen[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
+
+// take returns a length-1 frontier holding d, reusing a recycled backing
+// when one is available. An empty freelist is refilled in bulk: one slab
+// carved into fixed-capacity slots, so deep if/while nests cost one
+// allocation per eight frontiers instead of one each. The slots use
+// three-index slices, so a frontier outgrowing its slot reallocates
+// normally rather than bleeding into a sibling.
+func (b *builder) take(d dangling) []dangling {
+	if len(b.spare) == 0 {
+		// Slots lost to un-recyclable frontiers (merges, the final frontier)
+		// drain the freelist a little every build; 32 slots per refill keeps
+		// the cached-build steady state at one slab per several rounds.
+		const slots, slotCap = 32, 4
+		slab := make([]dangling, slots*slotCap)
+		for i := 0; i < slots; i++ {
+			lo := i * slotCap
+			b.spare = append(b.spare, slab[lo:lo:lo+slotCap])
+		}
+	}
+	k := len(b.spare)
+	s := b.spare[k-1][:0]
+	b.spare = b.spare[:k-1]
+	return append(s, d)
+}
+
+// recycle donates a dead frontier's backing to later take calls. Callers
+// must guarantee no live slice shares it.
+func (b *builder) recycle(f []dangling) {
+	if cap(f) > 0 {
+		b.spare = append(b.spare, f[:0])
+	}
+}
+
+func (b *builder) newNode(kind NodeKind, stmt mpl.Stmt) int {
 	id := len(b.g.Nodes)
-	b.g.Nodes = append(b.g.Nodes, &Node{ID: id, Kind: kind, Stmt: stmt, Label: label})
-	b.g.succs = append(b.g.succs, nil)
-	b.g.preds = append(b.g.preds, nil)
+	b.slab = append(b.slab, Node{ID: id, Kind: kind, Stmt: stmt})
+	b.g.Nodes = append(b.g.Nodes, &b.slab[len(b.slab)-1])
 	return id
 }
 
 func (b *builder) addEdge(from, to int, kind EdgeKind) {
-	ei := len(b.g.Edges)
 	b.g.Edges = append(b.g.Edges, Edge{From: from, To: to, Kind: kind})
-	b.g.succs[from] = append(b.g.succs[from], ei)
-	b.g.preds[to] = append(b.g.preds[to], ei)
+}
+
+// finalize builds the grouped adjacency in two counting passes over Edges:
+// one backing array per direction, subsliced per node, so construction does
+// no per-node slice growth and Succs/Preds are allocation-free afterwards.
+// Edge order within a node's Succs/Preds follows Edges order, matching the
+// insertion order the incremental construction used to produce.
+func (g *Graph) finalize(c *BuildCache) {
+	n := len(g.Nodes)
+	c.deg = grownLen(c.deg, 2*n)
+	deg := c.deg
+	for i := range deg {
+		deg[i] = 0
+	}
+	outDeg, inDeg := deg[:n], deg[n:]
+	for _, e := range g.Edges {
+		outDeg[e.From]++
+		inDeg[e.To]++
+	}
+	c.edgeBacking = grownLen(c.edgeBacking, 2*len(g.Edges))
+	edgeBacking := c.edgeBacking
+	succBacking, predBacking := edgeBacking[:len(g.Edges)], edgeBacking[len(g.Edges):]
+	c.adj = grownLen(c.adj, 2*n)
+	adj := c.adj
+	g.succEdges, g.predEdges = adj[:n], adj[n:]
+	off := 0
+	for id := 0; id < n; id++ {
+		g.succEdges[id] = succBacking[off : off : off+outDeg[id]]
+		off += outDeg[id]
+	}
+	off = 0
+	for id := 0; id < n; id++ {
+		g.predEdges[id] = predBacking[off : off : off+inDeg[id]]
+		off += inDeg[id]
+	}
+	for _, e := range g.Edges {
+		g.succEdges[e.From] = append(g.succEdges[e.From], e)
+		g.predEdges[e.To] = append(g.predEdges[e.To], e)
+	}
 }
 
 // Build constructs the CFG of a program. Each statement yields exactly one
 // node; while and if statements yield branch nodes whose True edge enters
 // the body/then and whose False edge leaves the loop / enters the else.
-func Build(p *mpl.Program) (*Graph, error) {
-	b := &builder{g: &Graph{}}
-	entry := b.newNode(KindEntry, nil, "ENTRY")
-	b.g.Entry = entry
-	// frontier is the set of (node, edgeKind) pairs awaiting connection to
-	// the next node in sequence.
-	type dangling struct {
-		from int
-		kind EdgeKind
+func Build(p *mpl.Program) (*Graph, error) { return BuildCached(p, nil) }
+
+// BuildCached is Build with recycled construction buffers. The returned
+// graph aliases the cache and is invalidated by the next BuildCached call
+// with the same cache — see BuildCache. A nil cache builds fresh.
+func BuildCached(p *mpl.Program, c *BuildCache) (*Graph, error) {
+	if c == nil {
+		c = &BuildCache{}
 	}
+	nstmt := p.StmtCount() + 2
+	b := &builder{
+		g: &Graph{
+			Nodes: grown(c.nodes, nstmt),
+			Edges: grown(c.edges, nstmt+nstmt/2),
+			cache: c,
+		},
+		slab:  grown(c.slab, nstmt),
+		spare: c.spare,
+	}
+	entry := b.newNode(KindEntry, nil)
+	b.g.Entry = entry
 	connect := func(frontier []dangling, to int) {
 		for _, d := range frontier {
 			b.addEdge(d.from, to, d.kind)
@@ -210,29 +366,39 @@ func Build(p *mpl.Program) (*Graph, error) {
 			default:
 				return nil, fmt.Errorf("cfg: unknown statement type %T", s)
 			}
-			id := b.newNode(kind, s, mpl.DescribeStmt(s))
+			id := b.newNode(kind, s)
 			connect(frontier, id)
 			switch st := s.(type) {
 			case *mpl.While:
-				bodyEnd, err := buildBody(st.Body, []dangling{{id, EdgeTrue}})
+				bodyEnd, err := buildBody(st.Body, b.take(dangling{id, EdgeTrue}))
 				if err != nil {
 					return nil, err
 				}
 				// Backward edges to the loop header.
 				connect(bodyEnd, id)
-				frontier = []dangling{{id, EdgeFalse}}
+				b.recycle(bodyEnd)
+				frontier = append(frontier[:0], dangling{id, EdgeFalse})
 			case *mpl.If:
-				thenEnd, err := buildBody(st.Then, []dangling{{id, EdgeTrue}})
+				thenEnd, err := buildBody(st.Then, b.take(dangling{id, EdgeTrue}))
 				if err != nil {
 					return nil, err
 				}
-				elseEnd, err := buildBody(st.Else, []dangling{{id, EdgeFalse}})
+				elseEnd, err := buildBody(st.Else, b.take(dangling{id, EdgeFalse}))
 				if err != nil {
 					return nil, err
 				}
-				frontier = append(thenEnd, elseEnd...)
+				merged := append(thenEnd, elseEnd...)
+				// elseEnd's backing was copied out; thenEnd's was either
+				// extended in place (now owned by merged) or, if append
+				// grew, also left dead — only the provably dead one is safe
+				// to recycle.
+				b.recycle(elseEnd)
+				frontier = merged
 			default:
-				frontier = []dangling{{id, EdgeSeq}}
+				// The incoming frontier's entries were just consumed by
+				// connect, so its backing can host the successor frontier —
+				// the straight-line common case allocates nothing.
+				frontier = append(frontier[:0], dangling{id, EdgeSeq})
 			}
 		}
 		return frontier, nil
@@ -242,28 +408,57 @@ func Build(p *mpl.Program) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	exit := b.newNode(KindExit, nil, "EXIT")
+	exit := b.newNode(KindExit, nil)
 	b.g.Exit = exit
 	connect(frontier, exit)
+	b.g.finalize(c)
+	// Hand the (possibly regrown) buffers back for the next build.
+	c.slab, c.nodes, c.edges, c.spare = b.slab, b.g.Nodes, b.g.Edges, b.spare
 	return b.g, nil
 }
 
 // Dominators computes the immediate-dominator-free dominator sets: dom[v]
 // is the set (as a bitset indexed by node id) of nodes that dominate v. A
 // node a dominates b when every path from entry to b includes a (§2).
+//
+// The result is computed once and cached — the Graph is immutable after
+// Build — with all rows carved from one backing array, so repeated queries
+// (back-edge tests, Phase III dominator chains) cost nothing. Callers must
+// not modify the returned sets.
 func (g *Graph) Dominators() []Bitset {
+	g.domOnce.Do(g.computeDominators)
+	return g.dom
+}
+
+func (g *Graph) computeDominators() {
 	n := len(g.Nodes)
-	dom := make([]Bitset, n)
-	all := NewBitset(n)
-	for i := 0; i < n; i++ {
-		all.Set(i)
+	words := (n + 63) / 64
+	var backing []uint64
+	var dom []Bitset
+	var meet Bitset
+	if c := g.cache; c != nil {
+		c.domWords = grownLen(c.domWords, n*words)
+		backing = c.domWords
+		for i := range backing {
+			backing[i] = 0
+		}
+		c.dom = grownLen(c.dom, n)
+		dom = c.dom
+		c.meet = Bitset(grownLen([]uint64(c.meet), words))
+		meet = c.meet
+	} else {
+		backing = make([]uint64, n*words)
+		dom = make([]Bitset, n)
+		meet = NewBitset(n)
 	}
 	for v := range dom {
+		dom[v] = Bitset(backing[v*words : (v+1)*words])
 		if v == g.Entry {
-			dom[v] = NewBitset(n)
 			dom[v].Set(g.Entry)
 		} else {
-			dom[v] = all.Clone()
+			for i := 0; i < n; i++ {
+				dom[v].Set(i)
+			}
 		}
 	}
 	changed := true
@@ -273,44 +468,67 @@ func (g *Graph) Dominators() []Bitset {
 			if v == g.Entry {
 				continue
 			}
-			var meet Bitset
-			first := true
-			for _, e := range g.Preds(v) {
-				if first {
-					meet = dom[e.From].Clone()
-					first = false
-				} else {
-					meet.IntersectWith(dom[e.From])
-				}
-			}
-			if first {
+			preds := g.predEdges[v]
+			if len(preds) == 0 {
 				// Unreachable node: dominated by everything (vacuous).
 				continue
 			}
+			meet.CopyFrom(dom[preds[0].From])
+			for _, e := range preds[1:] {
+				meet.IntersectWith(dom[e.From])
+			}
 			meet.Set(v)
 			if !meet.Equal(dom[v]) {
-				dom[v] = meet
+				dom[v].CopyFrom(meet)
 				changed = true
 			}
 		}
 	}
-	return dom
+	g.dom = dom
 }
 
 // Dominates reports whether a dominates b under the given dominator sets.
 func Dominates(dom []Bitset, a, b int) bool { return dom[b].Has(a) }
 
 // BackEdges returns the edges ⟨a,b⟩ where b dominates a — the loop edges of
-// the graph (§2's backward edges).
+// the graph (§2's backward edges). The result is cached; callers must not
+// modify it.
 func (g *Graph) BackEdges() []Edge {
-	dom := g.Dominators()
-	var out []Edge
-	for _, e := range g.Edges {
-		if Dominates(dom, e.To, e.From) {
-			out = append(out, e)
+	g.backOnce.Do(func() {
+		dom := g.Dominators()
+		cnt := 0
+		for _, e := range g.Edges {
+			if Dominates(dom, e.To, e.From) {
+				cnt++
+			}
 		}
-	}
-	return out
+		if cnt == 0 {
+			return
+		}
+		if c := g.cache; c != nil {
+			g.back = grown(c.back, cnt)
+		} else {
+			g.back = make([]Edge, 0, cnt)
+		}
+		for _, e := range g.Edges {
+			if Dominates(dom, e.To, e.From) {
+				g.back = append(g.back, e)
+			}
+		}
+		if c := g.cache; c != nil {
+			c.back = g.back
+		}
+	})
+	return g.back
+}
+
+// IsBackEdge reports whether e is a backward control edge (its target
+// dominates its source). It answers from the cached dominator sets in O(1),
+// replacing the map[Edge]bool sets the path searches used to rebuild per
+// query.
+func (g *Graph) IsBackEdge(e Edge) bool {
+	dom := g.Dominators()
+	return dom[e.From].Has(e.To)
 }
 
 // NaturalLoop returns the node set of the natural loop of back edge ⟨a,b⟩:

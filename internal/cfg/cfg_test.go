@@ -166,7 +166,7 @@ proc {
 		t.Fatalf("false target kind = %v", n.Kind)
 	}
 	if as, ok := n.Stmt.(*mpl.Assign); !ok || mpl.ExprString(as.X) != "2" {
-		t.Errorf("false target stmt = %v", n.Label)
+		t.Errorf("false target stmt = %v", n.Label())
 	}
 }
 
@@ -418,10 +418,10 @@ func TestBuildAllCorpus(t *testing.T) {
 			reach := g.Reachable(g.Entry)
 			for _, n := range g.Nodes {
 				if !reach.Has(n.ID) {
-					t.Errorf("node %d (%s) unreachable", n.ID, n.Label)
+					t.Errorf("node %d (%s) unreachable", n.ID, n.Label())
 				}
 				if !g.PathExists(n.ID, g.Exit) {
-					t.Errorf("node %d (%s) cannot reach exit", n.ID, n.Label)
+					t.Errorf("node %d (%s) cannot reach exit", n.ID, n.Label())
 				}
 			}
 			// Statement count matches node count minus entry/exit.

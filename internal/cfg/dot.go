@@ -22,7 +22,7 @@ func (g *Graph) DOT(name string, messageEdges []Edge) string {
 		case KindChkpt:
 			shape = "doubleoctagon"
 		}
-		label := n.Label
+		label := n.Label()
 		if label == "" {
 			label = n.Kind.String()
 		}

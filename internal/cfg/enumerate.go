@@ -63,13 +63,28 @@ func sortInts(a []int) {
 // when an if statement's branches contain different numbers of checkpoints
 // (Phase I must equalize first).
 func Enumerate(p *mpl.Program) (*Enumeration, error) {
-	enum := &Enumeration{Index: make(map[int]int)}
-	end, err := enumerateBody(p.Body, 0, enum)
-	if err != nil {
+	enum := &Enumeration{}
+	if err := EnumerateInto(p, enum); err != nil {
 		return nil, err
 	}
-	enum.Count = end
 	return enum, nil
+}
+
+// EnumerateInto is Enumerate writing into an existing Enumeration,
+// reusing its map storage — for callers (Phase III's fixpoint) that
+// re-enumerate the same program many times.
+func EnumerateInto(p *mpl.Program, enum *Enumeration) error {
+	if enum.Index == nil {
+		enum.Index = make(map[int]int)
+	} else {
+		clear(enum.Index)
+	}
+	end, err := enumerateBody(p.Body, 0, enum)
+	if err != nil {
+		return err
+	}
+	enum.Count = end
+	return nil
 }
 
 // enumerateBody walks stmts assigning indexes starting after `seen`

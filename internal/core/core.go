@@ -44,6 +44,10 @@ type Config struct {
 	// SkipInsert disables Phase I entirely (the program must already
 	// contain checkpoint statements).
 	SkipInsert bool
+	// Workers fans Phase III's per-checkpoint-node reachability analysis
+	// across goroutines (0 = GOMAXPROCS, 1 = serial). The transformed
+	// program and full report are identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig is the recommended configuration.
@@ -81,15 +85,15 @@ func (r *Report) CheckpointCount() int {
 }
 
 // Transform runs the three phases on a program. The input is not mutated.
-func Transform(p *mpl.Program, cfg Config) (*Report, error) {
+func Transform(p *mpl.Program, conf Config) (*Report, error) {
 	if err := mpl.Check(p); err != nil {
 		return nil, fmt.Errorf("core: input program invalid: %w", err)
 	}
 	work := mpl.Clone(p)
 	rep := &Report{}
 
-	if !cfg.SkipInsert {
-		plan, err := insert.InsertCheckpoints(work, cfg.costModel())
+	if !conf.SkipInsert {
+		plan, err := insert.InsertCheckpoints(work, conf.costModel())
 		if err != nil {
 			return nil, fmt.Errorf("core: phase I: %w", err)
 		}
@@ -97,9 +101,15 @@ func Transform(p *mpl.Program, cfg Config) (*Report, error) {
 	}
 
 	placed, err := place.Ensure(work, place.Options{
-		Match:         cfg.Match,
-		PreserveLoops: cfg.PreserveLoops,
-		MaxIterations: cfg.MaxIterations,
+		Match:         conf.Match,
+		PreserveLoops: conf.PreserveLoops,
+		MaxIterations: conf.MaxIterations,
+		Workers:       conf.Workers,
+		// One arena per Transform: every fixpoint round re-carves its
+		// scratch from the same backing storage instead of allocating.
+		Arena: &cfg.Arena{},
+		// work is already this call's private clone; Ensure may own it.
+		AssumeOwned: true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: phase III: %w", err)
@@ -111,31 +121,31 @@ func Transform(p *mpl.Program, cfg Config) (*Report, error) {
 }
 
 // TransformSource parses MPL source and transforms it.
-func TransformSource(src string, cfg Config) (*Report, error) {
+func TransformSource(src string, conf Config) (*Report, error) {
 	p, err := mpl.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Transform(p, cfg)
+	return Transform(p, conf)
 }
 
 // Verify checks Condition 1 on a program without transforming it: it
 // returns the violations that would make some straight cut inconsistent.
 // An empty slice means every straight cut of checkpoints is a recovery
 // line in any execution (Theorem 3.2).
-func Verify(p *mpl.Program, cfg Config) ([]place.Violation, error) {
+func Verify(p *mpl.Program, conf Config) ([]place.Violation, error) {
 	violations, _, err := place.Check(p, place.Options{
-		Match:         cfg.Match,
-		PreserveLoops: cfg.PreserveLoops,
-		MaxIterations: cfg.MaxIterations,
+		Match:         conf.Match,
+		PreserveLoops: conf.PreserveLoops,
+		MaxIterations: conf.MaxIterations,
 	})
 	return violations, err
 }
 
 // ExtendedDOT renders the extended CFG Ĝ of a program (control flow plus
 // message edges) in Graphviz dot syntax — the paper's Figure 4 view.
-func ExtendedDOT(p *mpl.Program, cfg Config) (string, error) {
-	x, err := match.BuildExtended(p, cfg.Match)
+func ExtendedDOT(p *mpl.Program, conf Config) (string, error) {
+	x, err := match.BuildExtended(p, conf.Match)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/mpl"
+	"repro/internal/verify"
+)
+
+// TestParallelAnalysisMatchesSerial pins the determinism contract of the
+// parallel analysis fan-out (place.Options.Workers / par.Map): for every
+// corpus program and a batch of generated large programs, the transform
+// must produce BYTE-identical output for any worker count — same final
+// program, same move sequence, same orderings, same violation report,
+// same iteration count. Run under -race this also exercises the
+// fan-out's synchronization.
+func TestParallelAnalysisMatchesSerial(t *testing.T) {
+	progs := make(map[string]*mpl.Program)
+	for name, p := range corpus.All() {
+		progs[name] = p
+	}
+	// ≥8 generated large programs (deep loop nests, hundreds of
+	// statements) so the parallel path sees inputs big enough for the
+	// fan-out to actually split work.
+	for seed := int64(1); seed <= 8; seed++ {
+		progs[fmt.Sprintf("large_s%d", seed)] = verify.GenerateLarge(seed, 6)
+	}
+
+	for name, p := range progs {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			conf := core.DefaultConfig
+			conf.Workers = 1 // serial reference
+			want, err := core.Transform(p, conf)
+			if err != nil {
+				t.Fatalf("serial transform: %v", err)
+			}
+			wantSrc := mpl.Format(want.Program)
+
+			for _, workers := range []int{0, 2, 3, 4, 8} {
+				conf.Workers = workers
+				got, err := core.Transform(p, conf)
+				if err != nil {
+					t.Fatalf("workers=%d: transform: %v", workers, err)
+				}
+				if src := mpl.Format(got.Program); src != wantSrc {
+					t.Errorf("workers=%d: program differs from serial\nserial:\n%s\nparallel:\n%s", workers, wantSrc, src)
+				}
+				if got.Phase3.Iterations != want.Phase3.Iterations {
+					t.Errorf("workers=%d: iterations = %d, serial %d", workers, got.Phase3.Iterations, want.Phase3.Iterations)
+				}
+				if !reflect.DeepEqual(got.Phase3.Moves, want.Phase3.Moves) {
+					t.Errorf("workers=%d: moves differ\nserial:   %+v\nparallel: %+v", workers, want.Phase3.Moves, got.Phase3.Moves)
+				}
+				if !reflect.DeepEqual(got.Phase3.Orderings, want.Phase3.Orderings) {
+					t.Errorf("workers=%d: orderings differ\nserial:   %+v\nparallel: %+v", workers, want.Phase3.Orderings, got.Phase3.Orderings)
+				}
+				if !reflect.DeepEqual(got.Phase3.InitialViolations, want.Phase3.InitialViolations) {
+					t.Errorf("workers=%d: initial violations differ", workers)
+				}
+				if got.CheckpointCount() != want.CheckpointCount() {
+					t.Errorf("workers=%d: checkpoint count = %d, serial %d", workers, got.CheckpointCount(), want.CheckpointCount())
+				}
+			}
+		})
+	}
+}

@@ -45,155 +45,236 @@ type Result struct {
 // pathological self-referential growth inside loops.
 const maxExprSize = 64
 
-// state maps variable names to abstract values; a nil Expr means ⊤. Missing
-// variables are implicitly the literal 0 (MPL variables start at zero).
-type state map[string]mpl.Expr
-
-func (s state) clone() state {
-	c := make(state, len(s))
-	for k, v := range s {
-		c[k] = v // abstract values are immutable; sharing is fine
-	}
-	return c
-}
+// state holds one abstract value per tracked variable, indexed by the
+// analyzer's variable table; a nil Expr means ⊤. Every assignable name is
+// in the table (declared variables plus any assignment/receive targets), so
+// the dense representation is total: clone is one slice copy and join/equal
+// are element-wise, with none of the map iteration the fixpoint used to pay
+// for on every loop round.
+type state []mpl.Expr
 
 // join merges two states in place into s: variables whose abstract values
 // differ become ⊤.
 func (s state) join(o state) {
-	for k, v := range o {
-		cur, ok := s[k]
-		if !ok {
-			s[k] = v
-			continue
-		}
-		if !sameAbstract(cur, v) {
-			s[k] = nil
-		}
-	}
-	for k := range s {
-		if _, ok := o[k]; !ok {
-			// Present in s only; o implicitly has the declaration-time
-			// value. Differ unless equal to the implicit zero.
-			if !sameAbstract(s[k], zeroLit) {
-				s[k] = nil
-			}
+	for i, v := range o {
+		if !sameAbstract(s[i], v) {
+			s[i] = nil
 		}
 	}
 }
 
 var zeroLit mpl.Expr = mpl.Int(0)
 
+// smallLits interns the literal values constant folding produces most —
+// loop counters and 0/1 condition results. Literals are immutable, so
+// sharing across analyses is safe.
+var smallLits = func() [129]mpl.Expr {
+	var a [129]mpl.Expr
+	for i := range a {
+		a[i] = mpl.Int(i)
+	}
+	return a
+}()
+
+func (a *analyzer) intLit(v int) mpl.Expr {
+	if v >= 0 && v < len(smallLits) {
+		return smallLits[v]
+	}
+	return mpl.Int(v)
+}
+
+// sameAbstract compares abstract values. Equality is defined by rendering
+// (two values are the same when they print the same), but the common cases
+// — shared nodes and structurally identical trees — are decided without
+// allocating the strings; only structurally different trees that might
+// still print alike (e.g. associativity regroupings) pay for ExprString.
 func sameAbstract(a, b mpl.Expr) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
 	}
+	if structEqual(a, b) {
+		return true
+	}
 	return mpl.ExprString(a) == mpl.ExprString(b)
 }
 
-func (s state) equal(o state) bool {
-	if len(s) != len(o) {
-		// Compare semantically: missing == zero literal.
-		for k := range s {
-			if !sameAbstract(s.get(k), o.get(k)) {
-				return false
-			}
+func structEqual(a, b mpl.Expr) bool {
+	if a == b {
+		return true
+	}
+	switch x := a.(type) {
+	case *mpl.IntLit:
+		y, ok := b.(*mpl.IntLit)
+		return ok && x.Value == y.Value
+	case *mpl.Ident:
+		y, ok := b.(*mpl.Ident)
+		return ok && x.Name == y.Name
+	case *mpl.Call:
+		y, ok := b.(*mpl.Call)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
 		}
-		for k := range o {
-			if !sameAbstract(s.get(k), o.get(k)) {
+		for i := range x.Args {
+			if !structEqual(x.Args[i], y.Args[i]) {
 				return false
 			}
 		}
 		return true
+	case *mpl.Unary:
+		y, ok := b.(*mpl.Unary)
+		return ok && x.Op == y.Op && structEqual(x.X, y.X)
+	case *mpl.Binary:
+		y, ok := b.(*mpl.Binary)
+		return ok && x.Op == y.Op && structEqual(x.L, y.L) && structEqual(x.R, y.R)
+	default:
+		return false
 	}
-	for k := range s {
-		if !sameAbstract(s.get(k), o.get(k)) {
+}
+
+func (s state) equal(o state) bool {
+	for i := range s {
+		if !sameAbstract(s[i], o[i]) {
 			return false
 		}
 	}
 	return true
 }
 
-func (s state) get(name string) mpl.Expr {
-	if v, ok := s[name]; ok {
-		return v
-	}
-	return zeroLit
-}
-
 // analyzer carries the program context and the accumulated records.
 type analyzer struct {
-	consts map[string]int
-	res    *Result
+	consts    map[string]int
+	constLits map[string]mpl.Expr // interned literal per constant
+	varIdx    map[string]int      // variable name -> state slot
+	pool      []state             // released state buffers for borrow
+	interned  map[internKey]mpl.Expr
+	res       *Result
+}
+
+// internKey identifies a rebuilt Unary (r nil) or Binary node by operator
+// and operand identity. Operands are themselves interned literals or
+// shared program nodes, so the same substitution produces the same key on
+// every fixpoint iteration.
+type internKey struct {
+	op   string
+	l, r mpl.Expr
+}
+
+// internPut records a freshly built node for its key. Loop fixpoints
+// re-substitute the same few shapes every iteration; without sharing each
+// iteration allocates a fresh identical tree. Abstract values are
+// immutable, so sharing is safe.
+func (a *analyzer) internPut(k internKey, e mpl.Expr) {
+	if a.interned == nil {
+		a.interned = make(map[internKey]mpl.Expr, 16)
+	}
+	a.interned[k] = e
+}
+
+// borrow returns a copy of src backed by a pooled buffer when one is
+// available. Loop fixpoints clone states every iteration — and nested loops
+// re-run their inner fixpoint per outer iteration — so recycling the
+// buffers keeps the whole analysis at O(nesting depth) state allocations
+// instead of O(total iterations).
+func (a *analyzer) borrow(src state) state {
+	if k := len(a.pool); k > 0 {
+		b := a.pool[k-1][:0]
+		a.pool = a.pool[:k-1]
+		return append(b, src...)
+	}
+	return append(state(nil), src...) // abstract values are immutable; sharing is fine
+}
+
+func (a *analyzer) release(b state) {
+	a.pool = append(a.pool, b)
 }
 
 // Analyze runs the analysis on a program.
 func Analyze(p *mpl.Program) *Result {
 	a := &analyzer{
-		consts: make(map[string]int, len(p.Consts)),
+		consts:    make(map[string]int, len(p.Consts)),
+		constLits: make(map[string]mpl.Expr, len(p.Consts)),
+		varIdx:    make(map[string]int, len(p.Vars)),
 		res: &Result{
-			Params:   make(map[int]attr.Param),
-			Branches: make(map[int]BranchInfo),
+			// Sized by statement count: growing the per-statement records
+			// bucket by bucket showed up in the transform profile.
+			Params:   make(map[int]attr.Param, p.StmtCount()),
+			Branches: make(map[int]BranchInfo, 8),
 		},
 	}
 	for _, c := range p.Consts {
 		a.consts[c.Name] = c.Value
+		a.constLits[c.Name] = mpl.Int(c.Value)
 	}
-	init := make(state, len(p.Vars))
 	for _, v := range p.Vars {
-		init[v] = zeroLit
+		a.slot(v)
+	}
+	// Undeclared assignment/receive targets (possible in hand-built test
+	// programs that skip mpl.Check) get slots too, so the dense state is
+	// total and reads of never-assigned names fall back to the implicit
+	// zero exactly as the sparse representation did.
+	a.collectTargets(p.Body)
+	init := make(state, len(a.varIdx))
+	for i := range init {
+		init[i] = zeroLit
 	}
 	a.body(p.Body, init)
 	return a.res
 }
 
-// exprSize counts expression nodes.
+// slot returns the state index for a variable name, assigning one if new.
+func (a *analyzer) slot(name string) int {
+	if i, ok := a.varIdx[name]; ok {
+		return i
+	}
+	i := len(a.varIdx)
+	a.varIdx[name] = i
+	return i
+}
+
+func (a *analyzer) collectTargets(body []mpl.Stmt) {
+	for _, st := range body {
+		switch n := st.(type) {
+		case *mpl.Assign:
+			a.slot(n.Name)
+		case *mpl.Recv:
+			a.slot(n.Var)
+		case *mpl.Bcast:
+			a.slot(n.Var)
+		case *mpl.Reduce:
+			a.slot(n.Var)
+		case *mpl.If:
+			a.collectTargets(n.Then)
+			a.collectTargets(n.Else)
+		case *mpl.While:
+			a.collectTargets(n.Body)
+		}
+	}
+}
+
+// exprSize counts expression nodes (direct recursion; this runs after
+// every resolve and a WalkExpr closure here would allocate).
 func exprSize(e mpl.Expr) int {
-	n := 0
-	mpl.WalkExpr(e, func(mpl.Expr) bool { n++; return true })
-	return n
+	switch x := e.(type) {
+	case *mpl.Call:
+		n := 1
+		for _, arg := range x.Args {
+			n += exprSize(arg)
+		}
+		return n
+	case *mpl.Unary:
+		return 1 + exprSize(x.X)
+	case *mpl.Binary:
+		return 1 + exprSize(x.L) + exprSize(x.R)
+	default:
+		return 1
+	}
 }
 
 // resolve substitutes variables and constants in e using the state,
 // producing a closed expression over (rank, nproc), or nil when the
 // expression depends on unknown values or input data.
 func (a *analyzer) resolve(e mpl.Expr, s state) mpl.Expr {
-	var sub func(e mpl.Expr) mpl.Expr
-	sub = func(e mpl.Expr) mpl.Expr {
-		switch x := e.(type) {
-		case *mpl.IntLit:
-			return x
-		case *mpl.Ident:
-			switch x.Name {
-			case mpl.BuiltinRank, mpl.BuiltinNproc:
-				return x
-			}
-			if v, ok := a.consts[x.Name]; ok {
-				return mpl.Int(v)
-			}
-			return s.get(x.Name) // nil when ⊤
-		case *mpl.Call:
-			return nil // input(...) is irregular
-		case *mpl.Unary:
-			inner := sub(x.X)
-			if inner == nil {
-				return nil
-			}
-			return &mpl.Unary{Op: x.Op, X: inner}
-		case *mpl.Binary:
-			l := sub(x.L)
-			if l == nil {
-				return nil
-			}
-			r := sub(x.R)
-			if r == nil {
-				return nil
-			}
-			return &mpl.Binary{Op: x.Op, L: l, R: r}
-		default:
-			return nil
-		}
-	}
-	out := sub(e)
+	out := a.subst(e, s)
 	if out == nil {
 		return nil
 	}
@@ -205,6 +286,87 @@ func (a *analyzer) resolve(e mpl.Expr, s state) mpl.Expr {
 		return nil
 	}
 	return out
+}
+
+// subst is resolve's substitution pass, written as a method (not a
+// recursive closure — resolve runs on every statement of every fixpoint
+// iteration, and the escaping closure allocation dominated the analysis).
+func (a *analyzer) subst(e mpl.Expr, s state) mpl.Expr {
+	switch x := e.(type) {
+	case *mpl.IntLit:
+		return x
+	case *mpl.Ident:
+		switch x.Name {
+		case mpl.BuiltinRank, mpl.BuiltinNproc:
+			return x
+		}
+		if lit, ok := a.constLits[x.Name]; ok {
+			return lit // interned: abstract values are never mutated
+		}
+		if i, ok := a.varIdx[x.Name]; ok {
+			return s[i] // nil when ⊤
+		}
+		return zeroLit // never-assigned name: the implicit zero
+	case *mpl.Call:
+		return nil // input(...) is irregular
+	case *mpl.Unary:
+		inner := a.subst(x.X, s)
+		if inner == nil {
+			return nil
+		}
+		if inner == x.X {
+			return x // nothing substituted; share the original node
+		}
+		if lit, ok := inner.(*mpl.IntLit); ok {
+			switch x.Op {
+			case "-":
+				return a.intLit(-lit.Value)
+			case "!":
+				if lit.Value == 0 {
+					return a.intLit(1)
+				}
+				return a.intLit(0)
+			}
+		}
+		k := internKey{op: x.Op, l: inner}
+		if e, ok := a.interned[k]; ok {
+			return e
+		}
+		e := mpl.Expr(&mpl.Unary{Op: x.Op, X: inner})
+		a.internPut(k, e)
+		return e
+	case *mpl.Binary:
+		l := a.subst(x.L, s)
+		if l == nil {
+			return nil
+		}
+		r := a.subst(x.R, s)
+		if r == nil {
+			return nil
+		}
+		if l == x.L && r == x.R {
+			return x // nothing substituted; share the original node
+		}
+		// Fold constant-constant right here: loop counters and resolved
+		// conditions hit this on every fixpoint iteration, and building the
+		// Binary only for Simplify to collapse it doubled the garbage.
+		if ll, ok := l.(*mpl.IntLit); ok {
+			if rl, ok := r.(*mpl.IntLit); ok {
+				if v, ok := mpl.FoldBinary(x.Op, ll.Value, rl.Value); ok {
+					return a.intLit(v)
+				}
+			}
+		}
+		k := internKey{op: x.Op, l: l, r: r}
+		if e, ok := a.interned[k]; ok {
+			return e
+		}
+		e := mpl.Expr(&mpl.Binary{Op: x.Op, L: l, R: r})
+		a.internPut(k, e)
+		return e
+	default:
+		return nil
+	}
 }
 
 // recordParam joins a newly observed resolution into the per-statement
@@ -220,7 +382,7 @@ func (a *analyzer) recordParam(id int, resolved mpl.Expr) {
 		a.res.Params[id] = newParam
 		return
 	}
-	if old.Wildcard || newParam.Wildcard || mpl.ExprString(old.Expr) != mpl.ExprString(newParam.Expr) {
+	if old.Wildcard || newParam.Wildcard || !sameAbstract(old.Expr, newParam.Expr) {
 		a.res.Params[id] = attr.WildcardParam
 	}
 }
@@ -232,21 +394,32 @@ func (a *analyzer) recordBranch(id int, resolved mpl.Expr) {
 		a.res.Branches[id] = nb
 		return
 	}
-	if old.Resolved == nil || resolved == nil || mpl.ExprString(old.Resolved) != mpl.ExprString(resolved) {
+	if old.Resolved == nil || resolved == nil || !sameAbstract(old.Resolved, resolved) {
 		a.res.Branches[id] = BranchInfo{}
 	}
 }
 
+// mentionsRank recurses directly (no WalkExpr closure — this runs on every
+// branch revisit of the loop fixpoint, and the escaping closure was a
+// measurable share of the analysis' allocations).
 func mentionsRank(e mpl.Expr) bool {
-	found := false
-	mpl.WalkExpr(e, func(x mpl.Expr) bool {
-		if id, ok := x.(*mpl.Ident); ok && id.Name == mpl.BuiltinRank {
-			found = true
-			return false
+	switch x := e.(type) {
+	case *mpl.Ident:
+		return x.Name == mpl.BuiltinRank
+	case *mpl.Call:
+		for _, arg := range x.Args {
+			if mentionsRank(arg) {
+				return true
+			}
 		}
-		return true
-	})
-	return found
+		return false
+	case *mpl.Unary:
+		return mentionsRank(x.X)
+	case *mpl.Binary:
+		return mentionsRank(x.L) || mentionsRank(x.R)
+	default:
+		return false
+	}
 }
 
 // body analyzes a statement list, mutating s to the post-state.
@@ -259,55 +432,54 @@ func (a *analyzer) body(stmts []mpl.Stmt, s state) {
 func (a *analyzer) stmt(st mpl.Stmt, s state) {
 	switch n := st.(type) {
 	case *mpl.Assign:
-		s[n.Name] = a.resolve(n.X, s)
+		s[a.varIdx[n.Name]] = a.resolve(n.X, s)
 	case *mpl.Work:
 		// No state change.
 	case *mpl.Send:
 		a.recordParam(n.ID(), a.resolve(n.Dest, s))
 	case *mpl.Recv:
 		a.recordParam(n.ID(), a.resolve(n.Src, s))
-		s[n.Var] = nil // received value is unknown
+		s[a.varIdx[n.Var]] = nil // received value is unknown
 	case *mpl.Bcast:
 		a.recordParam(n.ID(), a.resolve(n.Root, s))
-		s[n.Var] = nil // root's value is unknown to the analysis
+		s[a.varIdx[n.Var]] = nil // root's value is unknown to the analysis
 	case *mpl.Reduce:
 		a.recordParam(n.ID(), a.resolve(n.Root, s))
-		s[n.Var] = nil // the root's sum is unknown; conservatively widen all
+		s[a.varIdx[n.Var]] = nil // the root's sum is unknown; conservatively widen all
 	case *mpl.Chkpt:
 		// No state change.
 	case *mpl.If:
 		a.recordBranch(n.ID(), a.resolve(n.Cond, s))
-		thenState := s.clone()
+		thenState := a.borrow(s)
 		a.body(n.Then, thenState)
-		elseState := s.clone()
+		elseState := a.borrow(s)
 		a.body(n.Else, elseState)
 		// s := join(then, else)
-		for k := range s {
-			delete(s, k)
-		}
-		for k, v := range thenState {
-			s[k] = v
-		}
+		copy(s, thenState)
 		s.join(elseState)
+		a.release(thenState)
+		a.release(elseState)
 	case *mpl.While:
-		// Fixpoint: the loop may execute zero or more times.
-		cur := s.clone()
+		// Fixpoint: the loop may execute zero or more times. iter and next
+		// are overwritten each iteration; cur and next swap roles, so all
+		// three buffers live for the whole fixpoint.
+		cur := a.borrow(s)
+		iter := a.borrow(s)
+		next := a.borrow(s)
 		for {
 			a.recordBranch(n.ID(), a.resolve(n.Cond, cur))
-			iter := cur.clone()
+			iter = append(iter[:0], cur...)
 			a.body(n.Body, iter)
-			next := cur.clone()
+			next = append(next[:0], cur...)
 			next.join(iter)
 			if next.equal(cur) {
 				break
 			}
-			cur = next
+			cur, next = next, cur
 		}
-		for k := range s {
-			delete(s, k)
-		}
-		for k, v := range cur {
-			s[k] = v
-		}
+		copy(s, cur)
+		a.release(cur)
+		a.release(iter)
+		a.release(next)
 	}
 }

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/cfg"
 	"repro/internal/mpl"
 	"repro/internal/netestim"
 )
@@ -215,17 +214,13 @@ func Equalize(p *mpl.Program) ([]int, error) {
 	var added []int
 	nextID := p.MaxStmtID() + 1
 	for round := 0; round < maxEqualizeRounds; round++ {
-		_, err := cfg.Enumerate(p)
-		if err == nil {
+		// Probe for imbalance directly instead of running cfg.Enumerate and
+		// parsing its error: the fixpoint rounds of Phase III call Equalize
+		// constantly, and the direct walk finds the same innermost-first
+		// offending if statement without building an enumeration map.
+		ifStmt := firstUnbalanced(p.Body)
+		if ifStmt == nil {
 			return added, nil
-		}
-		var amb *cfg.AmbiguousError
-		if !errors.As(err, &amb) {
-			return nil, err
-		}
-		ifStmt, ok := amb.Stmt.(*mpl.If)
-		if !ok {
-			return nil, fmt.Errorf("insert: cannot equalize at %s: %w", mpl.DescribeStmt(amb.Stmt), err)
 		}
 		thenN := countChkpts(ifStmt.Then)
 		elseN := countChkpts(ifStmt.Else)
@@ -246,6 +241,32 @@ func Equalize(p *mpl.Program) ([]int, error) {
 		}
 	}
 	return nil, errors.New("insert: equalization did not converge")
+}
+
+// firstUnbalanced finds the first if statement (innermost-first, in program
+// order — matching cfg.Enumerate's error detection order) whose branches
+// carry different checkpoint counts. Nil when every if is balanced, i.e.
+// checkpoint enumeration is unambiguous.
+func firstUnbalanced(body []mpl.Stmt) *mpl.If {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *mpl.While:
+			if f := firstUnbalanced(st.Body); f != nil {
+				return f
+			}
+		case *mpl.If:
+			if f := firstUnbalanced(st.Then); f != nil {
+				return f
+			}
+			if f := firstUnbalanced(st.Else); f != nil {
+				return f
+			}
+			if countChkpts(st.Then) != countChkpts(st.Else) {
+				return st
+			}
+		}
+	}
+	return nil
 }
 
 // countChkpts counts checkpoint statements in a body, where loop bodies

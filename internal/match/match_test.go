@@ -406,7 +406,7 @@ func TestAllCorpusMatches(t *testing.T) {
 			}
 			for _, r := range nodesOf(x, cfg.KindRecv) {
 				if inbound[r] == 0 {
-					t.Errorf("recv node %d (%s) unmatched", r, x.G.Nodes[r].Label)
+					t.Errorf("recv node %d (%s) unmatched", r, x.G.Nodes[r].Label())
 				}
 			}
 		})

@@ -1,7 +1,10 @@
 package match
 
 import (
+	"context"
+
 	"repro/internal/cfg"
+	"repro/internal/par"
 )
 
 // This file implements path search over the extended CFG Ĝ — the engine
@@ -16,6 +19,13 @@ import (
 // from those that do not: the paper's loop-preservation optimization
 // (end of §3.3) applies only when every violating path needs a back edge
 // (Figure 6), so the search prefers back-edge-free witnesses.
+//
+// All searches run over the product graph of (node, used-a-message-edge)
+// states, encoded as node<<1|msg, with bitset visited sets and index
+// arrays instead of maps. Phase III's quadratic pair queries are answered
+// from memoized per-source closures (reachSets) computed by one BFS per
+// (source, back-edge policy) — the "memoized graph queries" of the
+// pipeline optimization — rather than a fresh search per pair.
 
 // PathStep is one traversed edge in a causal path.
 type PathStep struct {
@@ -35,82 +45,105 @@ type CausalPath struct {
 	HasBackEdge bool
 }
 
-// searchState is (node, used a message edge).
-type searchState struct {
-	node int
-	msg  bool
+// reachSets is the memoized closure of one source node over Ĝ:
+//
+//	any   — nodes reachable via control+message edges;
+//	msg   — nodes reachable having used ≥1 message edge (causal);
+//	anyNB — any, with backward control edges forbidden;
+//	msgNB — msg, with backward control edges forbidden.
+type reachSets struct {
+	any, msg, anyNB, msgNB cfg.Bitset
 }
 
-// pathNode links BFS discoveries for path reconstruction.
-type pathNode struct {
-	st   searchState
-	prev *pathNode
-	step PathStep
-	used bool // step is valid (false only for the start)
+// witnessScratch holds the reusable state of the witness-path BFS. Sized
+// to the product graph (2 states per node); serial use only.
+type witnessScratch struct {
+	seen  cfg.Bitset
+	queue []int
+	prev  []int // predecessor state per state
+	step  []PathStep
+}
+
+func (x *Extended) getScratch() *witnessScratch {
+	n := 2 * len(x.G.Nodes)
+	if x.scratch == nil {
+		x.scratch = &witnessScratch{
+			seen:  x.arena.Bits(n),
+			queue: x.arena.Ints(n),
+			prev:  x.arena.Ints(n),
+			step:  make([]PathStep, n),
+		}
+	}
+	return x.scratch
 }
 
 // FindCausalPath returns a causal path (≥1 message edge) from a to b in the
 // extended graph, or nil when none exists. Among existing paths it prefers
 // one without backward control edges, then fewer steps.
 func (x *Extended) FindCausalPath(a, b int) *CausalPath {
-	backSet := make(map[cfg.Edge]bool)
-	for _, e := range x.G.BackEdges() {
-		backSet[e] = true
+	if x.reach != nil && x.reach[a] != nil && !x.reach[a].msg.Has(b) {
+		return nil // memoized closure already knows there is no path
 	}
 	// Two-pass BFS: first forbid back edges entirely; if that fails, allow
 	// them. This guarantees the back-edge-free preference.
 	for _, allowBack := range []bool{false, true} {
-		if p := x.bfs(a, b, allowBack, backSet); p != nil {
+		if p := x.witnessBFS(a, b, allowBack); p != nil {
 			return p
 		}
 	}
 	return nil
 }
 
-func (x *Extended) bfs(a, b int, allowBack bool, backSet map[cfg.Edge]bool) *CausalPath {
-	start := &pathNode{st: searchState{node: a}}
-	seen := map[searchState]bool{start.st: true}
-	queue := []*pathNode{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur.st.node == b && cur.st.msg {
-			return buildPath(cur)
+// witnessBFS is a breadth-first search over product states recording
+// predecessor links for path reconstruction.
+func (x *Extended) witnessBFS(a, b int, allowBack bool) *CausalPath {
+	g := x.G
+	sc := x.getScratch()
+	sc.seen.Zero()
+	queue := sc.queue[:0]
+	start := a << 1
+	sc.seen.Set(start)
+	sc.prev[start] = -1
+	queue = append(queue, start)
+	goal := b<<1 | 1
+	for qi := 0; qi < len(queue); qi++ {
+		st := queue[qi]
+		if st == goal {
+			return x.buildPath(sc, st)
 		}
-		for _, e := range x.G.Succs(cur.st.node) {
-			isBack := backSet[e]
+		node, msg := st>>1, st&1
+		for _, e := range g.Succs(node) {
+			isBack := g.IsBackEdge(e)
 			if isBack && !allowBack {
 				continue
 			}
-			next := searchState{node: e.To, msg: cur.st.msg}
-			if seen[next] {
+			nst := e.To<<1 | msg
+			if sc.seen.Has(nst) {
 				continue
 			}
-			seen[next] = true
-			queue = append(queue, &pathNode{
-				st: next, prev: cur, used: true,
-				step: PathStep{From: e.From, To: e.To, IsBack: isBack},
-			})
+			sc.seen.Set(nst)
+			sc.prev[nst] = st
+			sc.step[nst] = PathStep{From: e.From, To: e.To, IsBack: isBack}
+			queue = append(queue, nst)
 		}
-		for _, r := range x.msgFrom[cur.st.node] {
-			next := searchState{node: r, msg: true}
-			if seen[next] {
+		for _, r := range x.msgFrom[node] {
+			nst := r<<1 | 1
+			if sc.seen.Has(nst) {
 				continue
 			}
-			seen[next] = true
-			queue = append(queue, &pathNode{
-				st: next, prev: cur, used: true,
-				step: PathStep{From: cur.st.node, To: r, IsMessage: true},
-			})
+			sc.seen.Set(nst)
+			sc.prev[nst] = st
+			sc.step[nst] = PathStep{From: node, To: r, IsMessage: true}
+			queue = append(queue, nst)
 		}
 	}
 	return nil
 }
 
-func buildPath(end *pathNode) *CausalPath {
+func (x *Extended) buildPath(sc *witnessScratch, end int) *CausalPath {
 	var steps []PathStep
-	for q := end; q != nil && q.used; q = q.prev {
-		steps = append(steps, q.step)
+	for st := end; sc.prev[st] != -1; st = sc.prev[st] {
+		steps = append(steps, sc.step[st])
 	}
 	// Reverse into forward order.
 	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
@@ -137,4 +170,199 @@ func (p *CausalPath) ContainsNode(id int) bool {
 		}
 	}
 	return false
+}
+
+// ---- memoized closures ----
+
+// reachFor returns the memoized closure of source node a, computing it on
+// first use. Not safe for concurrent callers on a cache miss; parallel
+// users warm the cache through PrecomputeReach first.
+func (x *Extended) reachFor(a int) *reachSets {
+	if x.reach == nil {
+		x.reach = make([]*reachSets, len(x.G.Nodes))
+	}
+	if rs := x.reach[a]; rs != nil {
+		return rs
+	}
+	rs := x.computeReach(a)
+	x.reach[a] = rs
+	return rs
+}
+
+// computeReach runs the two closure BFS passes for one source. It uses
+// only local state (plus the graph's immutable caches), so PrecomputeReach
+// may call it from parallel workers.
+func (x *Extended) computeReach(a int) *reachSets {
+	n := len(x.G.Nodes)
+	words := (n + 63) / 64
+	backing := make([]uint64, 4*words)
+	rs := &reachSets{
+		any:   cfg.Bitset(backing[0*words : 1*words]),
+		msg:   cfg.Bitset(backing[1*words : 2*words]),
+		anyNB: cfg.Bitset(backing[2*words : 3*words]),
+		msgNB: cfg.Bitset(backing[3*words : 4*words]),
+	}
+	seen := cfg.NewBitset(2 * n)
+	queue := make([]int, 0, 2*n)
+	x.closureBFS(a, true, seen, queue, rs.any, rs.msg)
+	seen.Zero()
+	x.closureBFS(a, false, seen, queue, rs.anyNB, rs.msgNB)
+	return rs
+}
+
+// closureBFS floods the product graph from (a, no-message-yet) and writes
+// the node projections of the visited states into any (either product
+// state) and msg (the used-a-message-edge state).
+func (x *Extended) closureBFS(a int, allowBack bool, seen cfg.Bitset, queue []int, anySet, msgSet cfg.Bitset) {
+	g := x.G
+	start := a << 1
+	seen.Set(start)
+	queue = append(queue[:0], start)
+	anySet.Set(a)
+	for qi := 0; qi < len(queue); qi++ {
+		st := queue[qi]
+		node, msg := st>>1, st&1
+		for _, e := range g.Succs(node) {
+			if !allowBack && g.IsBackEdge(e) {
+				continue
+			}
+			nst := e.To<<1 | msg
+			if !seen.Has(nst) {
+				seen.Set(nst)
+				anySet.Set(e.To)
+				if msg == 1 {
+					msgSet.Set(e.To)
+				}
+				queue = append(queue, nst)
+			}
+		}
+		for _, r := range x.msgFrom[node] {
+			nst := r<<1 | 1
+			if !seen.Has(nst) {
+				seen.Set(nst)
+				anySet.Set(r)
+				msgSet.Set(r)
+				queue = append(queue, nst)
+			}
+		}
+	}
+}
+
+// CausallyReaches reports whether a causal path (≥1 message edge) from a
+// to b exists — FindCausalPath(a, b) != nil, answered from the memoized
+// closure without a per-pair search.
+func (x *Extended) CausallyReaches(a, b int) bool {
+	return x.reachFor(a).msg.Has(b)
+}
+
+// CausalNeedsBack reports whether every causal path from a to b traverses
+// a backward control edge. Only meaningful when CausallyReaches(a, b).
+func (x *Extended) CausalNeedsBack(a, b int) bool {
+	return !x.reachFor(a).msgNB.Has(b)
+}
+
+// ReachableExtended returns the set of nodes reachable from a via control
+// and message edges, message-edge use not required (including a itself).
+// With acyclic set, backward control edges are excluded — reachability
+// within a single "iteration unrolling", the notion Phase III's
+// loop-preservation mode uses. The returned bitset is the memoized cache
+// entry; callers must not modify it.
+func (x *Extended) ReachableExtended(a int, acyclic bool) cfg.Bitset {
+	rs := x.reachFor(a)
+	if acyclic {
+		return rs.anyNB
+	}
+	return rs.any
+}
+
+// reachJob is one source's pre-carved closure buffers: the arena is not
+// concurrent-safe, so PrecomputeReach carves serially and the workers only
+// fill disjoint buffers.
+type reachJob struct {
+	src   int
+	rs    *reachSets
+	seen  cfg.Bitset
+	queue []int
+}
+
+// PrecomputeReach fills the closure cache for the given source nodes,
+// fanning the per-source BFS passes across at most workers goroutines
+// (par.Workers semantics: 0 = GOMAXPROCS, 1 = serial). Each source's
+// closure is deterministic, so the cache — and everything answered from
+// it — is identical for every worker count.
+func (x *Extended) PrecomputeReach(sources []int, workers int) error {
+	n := len(x.G.Nodes)
+	if x.reach == nil {
+		x.reach = make([]*reachSets, n)
+	}
+	// Warm the graph's lazy analyses (dominators, back edges) serially so
+	// the workers only read.
+	x.G.BackEdges()
+	missing := 0
+	for _, src := range sources {
+		if x.reach[src] == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	// Below this much BFS work the goroutine fan-out costs more than the
+	// closures themselves; run serially (the result is identical either
+	// way — closures are keyed by source node, not worker).
+	const parallelReachThreshold = 1 << 14
+	if workers != 1 && missing*2*n < parallelReachThreshold {
+		workers = 1
+	}
+	if workers == 1 {
+		seen := x.arena.Bits(2 * n)
+		queue := x.arena.Ints(2 * n)
+		slab := x.newReachSlab(missing)
+		for _, src := range sources {
+			if x.reach[src] != nil {
+				continue
+			}
+			rs := x.carveReach(slab)
+			slab = slab[1:]
+			seen.Zero()
+			x.closureBFS(src, true, seen, queue, rs.any, rs.msg)
+			seen.Zero()
+			x.closureBFS(src, false, seen, queue, rs.anyNB, rs.msgNB)
+			x.reach[src] = rs
+		}
+		return nil
+	}
+	slab := x.newReachSlab(missing)
+	jobs := make([]reachJob, 0, missing)
+	for _, src := range sources {
+		if x.reach[src] != nil {
+			continue
+		}
+		rs := x.carveReach(slab)
+		slab = slab[1:]
+		jobs = append(jobs, reachJob{src: src, rs: rs, seen: x.arena.Bits(2 * n), queue: x.arena.Ints(2 * n)})
+		x.reach[src] = rs
+	}
+	return par.ForEach(context.Background(), workers, jobs, func(_ context.Context, _ int, j reachJob) error {
+		x.closureBFS(j.src, true, j.seen, j.queue, j.rs.any, j.rs.msg)
+		j.seen.Zero()
+		x.closureBFS(j.src, false, j.seen, j.queue, j.rs.anyNB, j.rs.msgNB)
+		return nil
+	})
+}
+
+// newReachSlab allocates k reachSets structs in one block; carveReach
+// claims the first entry and carves its four bitsets from the arena.
+func (x *Extended) newReachSlab(k int) []reachSets {
+	return make([]reachSets, k)
+}
+
+func (x *Extended) carveReach(slab []reachSets) *reachSets {
+	n := len(x.G.Nodes)
+	rs := &slab[0]
+	rs.any = x.arena.Bits(n)
+	rs.msg = x.arena.Bits(n)
+	rs.anyNB = x.arena.Bits(n)
+	rs.msgNB = x.arena.Bits(n)
+	return rs
 }

@@ -191,49 +191,204 @@ func (b *Builder) MustProgram() *Program {
 // Clone returns a deep copy of the program. Statement IDs are preserved;
 // expressions are copied so mutations of the clone never alias the
 // original.
+//
+// The copy is slab-allocated: a counting pre-pass sizes one typed slab per
+// concrete node type, so cloning costs one allocation per node TYPE (plus
+// the backing arrays) instead of one per node — the difference between
+// ~constant and ~program-sized allocation counts in Phase III, which
+// clones per Transform.
 func Clone(p *Program) *Program {
-	cp := &Program{
+	var m cloneMem
+	m.count(p.Body)
+	m.assigns = make([]Assign, 0, m.nAssign)
+	m.works = make([]Work, 0, m.nWork)
+	m.sends = make([]Send, 0, m.nSend)
+	m.recvs = make([]Recv, 0, m.nRecv)
+	m.bcasts = make([]Bcast, 0, m.nBcast)
+	m.reduces = make([]Reduce, 0, m.nReduce)
+	m.chkpts = make([]Chkpt, 0, m.nChkpt)
+	m.whiles = make([]While, 0, m.nWhile)
+	m.ifs = make([]If, 0, m.nIf)
+	m.intLits = make([]IntLit, 0, m.nIntLit)
+	m.idents = make([]Ident, 0, m.nIdent)
+	m.calls = make([]Call, 0, m.nCall)
+	m.unaries = make([]Unary, 0, m.nUnary)
+	m.binaries = make([]Binary, 0, m.nBinary)
+	m.stmts = make([]Stmt, m.nStmtSlot)
+	m.exprs = make([]Expr, m.nExprSlot)
+	return &Program{
 		Name:   p.Name,
 		Consts: append([]Const(nil), p.Consts...),
 		Vars:   append([]string(nil), p.Vars...),
-		Body:   cloneBody(p.Body),
+		Body:   m.body(p.Body),
 	}
-	return cp
 }
 
-func cloneBody(body []Stmt) []Stmt {
+// cloneMem holds one Clone call's slabs and their fill offsets.
+type cloneMem struct {
+	nAssign, nWork, nSend, nRecv, nBcast, nReduce, nChkpt, nWhile, nIf int
+	nIntLit, nIdent, nCall, nUnary, nBinary                            int
+	nStmtSlot, nExprSlot                                               int // total body / call-arg slots
+
+	assigns  []Assign
+	works    []Work
+	sends    []Send
+	recvs    []Recv
+	bcasts   []Bcast
+	reduces  []Reduce
+	chkpts   []Chkpt
+	whiles   []While
+	ifs      []If
+	intLits  []IntLit
+	idents   []Ident
+	calls    []Call
+	unaries  []Unary
+	binaries []Binary
+	stmts    []Stmt
+	exprs    []Expr
+	stmtOff  int
+	exprOff  int
+}
+
+func (m *cloneMem) count(body []Stmt) {
+	m.nStmtSlot += len(body)
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Assign:
+			m.nAssign++
+			m.countExpr(st.X)
+		case *Work:
+			m.nWork++
+			m.countExpr(st.Amount)
+		case *Send:
+			m.nSend++
+			m.countExpr(st.Dest)
+		case *Recv:
+			m.nRecv++
+			m.countExpr(st.Src)
+		case *Bcast:
+			m.nBcast++
+			m.countExpr(st.Root)
+		case *Reduce:
+			m.nReduce++
+			m.countExpr(st.Root)
+		case *Chkpt:
+			m.nChkpt++
+		case *While:
+			m.nWhile++
+			m.countExpr(st.Cond)
+			m.count(st.Body)
+		case *If:
+			m.nIf++
+			m.countExpr(st.Cond)
+			m.count(st.Then)
+			m.count(st.Else)
+		default:
+			panic("mpl: Clone: unknown statement type")
+		}
+	}
+}
+
+func (m *cloneMem) countExpr(e Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *IntLit:
+		m.nIntLit++
+	case *Ident:
+		m.nIdent++
+	case *Call:
+		m.nCall++
+		m.nExprSlot += len(x.Args)
+		for _, a := range x.Args {
+			m.countExpr(a)
+		}
+	case *Unary:
+		m.nUnary++
+		m.countExpr(x.X)
+	case *Binary:
+		m.nBinary++
+		m.countExpr(x.L)
+		m.countExpr(x.R)
+	default:
+		panic("mpl: Clone: unknown expression type")
+	}
+}
+
+// body carves a full-capacity subslice for the statement list (appends to
+// it later therefore reallocate rather than bleed into a sibling block)
+// and fills it.
+func (m *cloneMem) body(body []Stmt) []Stmt {
 	if body == nil {
 		return nil
 	}
-	out := make([]Stmt, len(body))
+	out := m.stmts[m.stmtOff : m.stmtOff+len(body) : m.stmtOff+len(body)]
+	m.stmtOff += len(body)
 	for i, s := range body {
-		out[i] = cloneStmt(s)
+		out[i] = m.stmt(s)
 	}
 	return out
 }
 
-func cloneStmt(s Stmt) Stmt {
+func (m *cloneMem) stmt(s Stmt) Stmt {
 	switch st := s.(type) {
 	case *Assign:
-		return &Assign{StmtBase: st.StmtBase, Name: st.Name, X: CloneExpr(st.X)}
+		m.assigns = append(m.assigns, Assign{StmtBase: st.StmtBase, Name: st.Name, X: m.expr(st.X)})
+		return &m.assigns[len(m.assigns)-1]
 	case *Work:
-		return &Work{StmtBase: st.StmtBase, Amount: CloneExpr(st.Amount)}
+		m.works = append(m.works, Work{StmtBase: st.StmtBase, Amount: m.expr(st.Amount)})
+		return &m.works[len(m.works)-1]
 	case *Send:
-		return &Send{StmtBase: st.StmtBase, Dest: CloneExpr(st.Dest), Var: st.Var}
+		m.sends = append(m.sends, Send{StmtBase: st.StmtBase, Dest: m.expr(st.Dest), Var: st.Var})
+		return &m.sends[len(m.sends)-1]
 	case *Recv:
-		return &Recv{StmtBase: st.StmtBase, Src: CloneExpr(st.Src), Var: st.Var}
+		m.recvs = append(m.recvs, Recv{StmtBase: st.StmtBase, Src: m.expr(st.Src), Var: st.Var})
+		return &m.recvs[len(m.recvs)-1]
 	case *Bcast:
-		return &Bcast{StmtBase: st.StmtBase, Root: CloneExpr(st.Root), Var: st.Var}
+		m.bcasts = append(m.bcasts, Bcast{StmtBase: st.StmtBase, Root: m.expr(st.Root), Var: st.Var})
+		return &m.bcasts[len(m.bcasts)-1]
 	case *Reduce:
-		return &Reduce{StmtBase: st.StmtBase, Root: CloneExpr(st.Root), Var: st.Var}
+		m.reduces = append(m.reduces, Reduce{StmtBase: st.StmtBase, Root: m.expr(st.Root), Var: st.Var})
+		return &m.reduces[len(m.reduces)-1]
 	case *Chkpt:
-		return &Chkpt{StmtBase: st.StmtBase}
+		m.chkpts = append(m.chkpts, Chkpt{StmtBase: st.StmtBase})
+		return &m.chkpts[len(m.chkpts)-1]
 	case *While:
-		return &While{StmtBase: st.StmtBase, Cond: CloneExpr(st.Cond), Body: cloneBody(st.Body)}
+		m.whiles = append(m.whiles, While{StmtBase: st.StmtBase, Cond: m.expr(st.Cond), Body: m.body(st.Body)})
+		return &m.whiles[len(m.whiles)-1]
 	case *If:
-		return &If{StmtBase: st.StmtBase, Cond: CloneExpr(st.Cond), Then: cloneBody(st.Then), Else: cloneBody(st.Else)}
+		m.ifs = append(m.ifs, If{StmtBase: st.StmtBase, Cond: m.expr(st.Cond), Then: m.body(st.Then), Else: m.body(st.Else)})
+		return &m.ifs[len(m.ifs)-1]
 	default:
-		panic("mpl: cloneStmt: unknown statement type")
+		panic("mpl: Clone: unknown statement type")
+	}
+}
+
+func (m *cloneMem) expr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		m.intLits = append(m.intLits, IntLit{Value: x.Value})
+		return &m.intLits[len(m.intLits)-1]
+	case *Ident:
+		m.idents = append(m.idents, Ident{Name: x.Name})
+		return &m.idents[len(m.idents)-1]
+	case *Call:
+		args := m.exprs[m.exprOff : m.exprOff+len(x.Args) : m.exprOff+len(x.Args)]
+		m.exprOff += len(x.Args)
+		for i, a := range x.Args {
+			args[i] = m.expr(a)
+		}
+		m.calls = append(m.calls, Call{Name: x.Name, Args: args})
+		return &m.calls[len(m.calls)-1]
+	case *Unary:
+		m.unaries = append(m.unaries, Unary{Op: x.Op, X: m.expr(x.X)})
+		return &m.unaries[len(m.unaries)-1]
+	case *Binary:
+		m.binaries = append(m.binaries, Binary{Op: x.Op, L: m.expr(x.L), R: m.expr(x.R)})
+		return &m.binaries[len(m.binaries)-1]
+	default:
+		panic("mpl: Clone: unknown expression type")
 	}
 }
 

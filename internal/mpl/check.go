@@ -3,6 +3,7 @@ package mpl
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // CheckError reports a semantic error in a program.
@@ -16,6 +17,76 @@ func (e *CheckError) Error() string {
 	return fmt.Sprintf("mpl: %s: %s", e.Pos, e.Msg)
 }
 
+// checker carries Check's state. Methods instead of closures: Check runs
+// at every pipeline entry, and the per-call escaping closures (plus
+// unsized map growth) were measurable in the transform benchmark.
+type checker struct {
+	declared map[string]string
+	ids      []int // statement ids in walk order; dup check sorts at the end
+	errs     []error
+}
+
+func (c *checker) expr(pos Pos, e Expr) {
+	switch n := e.(type) {
+	case *Ident:
+		if _, ok := c.declared[n.Name]; !ok {
+			c.errs = append(c.errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("undeclared identifier %q", n.Name)})
+		}
+	case *Call:
+		if n.Name != BuiltinInput {
+			c.errs = append(c.errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("unknown builtin %q", n.Name)})
+		} else if len(n.Args) != 1 {
+			c.errs = append(c.errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("input takes 1 argument, got %d", len(n.Args))})
+		}
+		for _, arg := range n.Args {
+			c.expr(pos, arg)
+		}
+	case *Unary:
+		c.expr(pos, n.X)
+	case *Binary:
+		c.expr(pos, n.L)
+		c.expr(pos, n.R)
+	}
+}
+
+func (c *checker) mustBeVar(pos Pos, name, role string) {
+	kind, ok := c.declared[name]
+	switch {
+	case !ok:
+		c.errs = append(c.errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("undeclared identifier %q", name)})
+	case kind != "variable":
+		c.errs = append(c.errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("%s must be a variable, %q is a %s", role, name, kind)})
+	}
+}
+
+func (c *checker) stmt(s Stmt) bool {
+	c.ids = append(c.ids, s.ID())
+	switch st := s.(type) {
+	case *Assign:
+		c.mustBeVar(st.Pos(), st.Name, "assignment target")
+		c.expr(st.Pos(), st.X)
+	case *Work:
+		c.expr(st.Pos(), st.Amount)
+	case *Send:
+		c.expr(st.Pos(), st.Dest)
+		c.mustBeVar(st.Pos(), st.Var, "send buffer")
+	case *Recv:
+		c.expr(st.Pos(), st.Src)
+		c.mustBeVar(st.Pos(), st.Var, "receive buffer")
+	case *Bcast:
+		c.expr(st.Pos(), st.Root)
+		c.mustBeVar(st.Pos(), st.Var, "broadcast buffer")
+	case *Reduce:
+		c.expr(st.Pos(), st.Root)
+		c.mustBeVar(st.Pos(), st.Var, "reduce buffer")
+	case *While:
+		c.expr(st.Pos(), st.Cond)
+	case *If:
+		c.expr(st.Pos(), st.Cond)
+	}
+	return true
+}
+
 // Check validates a program's static semantics:
 //   - every referenced identifier is a declared variable, constant, or
 //     builtin;
@@ -25,83 +96,34 @@ func (e *CheckError) Error() string {
 //   - calls name the input builtin with exactly one argument;
 //   - statement IDs are unique.
 func Check(p *Program) error {
-	declared := map[string]string{
-		BuiltinRank:  "builtin",
-		BuiltinNproc: "builtin",
+	c := &checker{
+		declared: make(map[string]string, len(p.Consts)+len(p.Vars)+2),
+		ids:      make([]int, 0, p.StmtCount()),
 	}
-	var errs []error
-	for _, c := range p.Consts {
-		if kind, ok := declared[c.Name]; ok {
-			errs = append(errs, &CheckError{Msg: fmt.Sprintf("constant %q redeclares %s", c.Name, kind)})
+	c.declared[BuiltinRank] = "builtin"
+	c.declared[BuiltinNproc] = "builtin"
+	for _, cst := range p.Consts {
+		if kind, ok := c.declared[cst.Name]; ok {
+			c.errs = append(c.errs, &CheckError{Msg: fmt.Sprintf("constant %q redeclares %s", cst.Name, kind)})
 			continue
 		}
-		declared[c.Name] = "constant"
+		c.declared[cst.Name] = "constant"
 	}
 	for _, v := range p.Vars {
-		if kind, ok := declared[v]; ok {
-			errs = append(errs, &CheckError{Msg: fmt.Sprintf("variable %q redeclares %s", v, kind)})
+		if kind, ok := c.declared[v]; ok {
+			c.errs = append(c.errs, &CheckError{Msg: fmt.Sprintf("variable %q redeclares %s", v, kind)})
 			continue
 		}
-		declared[v] = "variable"
+		c.declared[v] = "variable"
 	}
-
-	checkExpr := func(pos Pos, e Expr) {
-		WalkExpr(e, func(x Expr) bool {
-			switch n := x.(type) {
-			case *Ident:
-				if _, ok := declared[n.Name]; !ok {
-					errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("undeclared identifier %q", n.Name)})
-				}
-			case *Call:
-				if n.Name != BuiltinInput {
-					errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("unknown builtin %q", n.Name)})
-				} else if len(n.Args) != 1 {
-					errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("input takes 1 argument, got %d", len(n.Args))})
-				}
-			}
-			return true
-		})
-	}
-	mustBeVar := func(pos Pos, name, role string) {
-		kind, ok := declared[name]
-		switch {
-		case !ok:
-			errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("undeclared identifier %q", name)})
-		case kind != "variable":
-			errs = append(errs, &CheckError{Pos: pos, Msg: fmt.Sprintf("%s must be a variable, %q is a %s", role, name, kind)})
+	Walk(p.Body, c.stmt)
+	// Duplicate statement ids: sort-and-scan beats a per-statement set (a
+	// map was two allocations and growth on every Check).
+	sort.Ints(c.ids)
+	for i := 1; i < len(c.ids); i++ {
+		if c.ids[i] == c.ids[i-1] && (i == 1 || c.ids[i] != c.ids[i-2]) {
+			c.errs = append(c.errs, &CheckError{Msg: fmt.Sprintf("duplicate statement id %d", c.ids[i])})
 		}
 	}
-
-	seenIDs := make(map[int]bool)
-	Walk(p.Body, func(s Stmt) bool {
-		if seenIDs[s.ID()] {
-			errs = append(errs, &CheckError{Pos: s.Pos(), Msg: fmt.Sprintf("duplicate statement id %d", s.ID())})
-		}
-		seenIDs[s.ID()] = true
-		switch st := s.(type) {
-		case *Assign:
-			mustBeVar(st.Pos(), st.Name, "assignment target")
-			checkExpr(st.Pos(), st.X)
-		case *Work:
-			checkExpr(st.Pos(), st.Amount)
-		case *Send:
-			checkExpr(st.Pos(), st.Dest)
-			mustBeVar(st.Pos(), st.Var, "send buffer")
-		case *Recv:
-			checkExpr(st.Pos(), st.Src)
-			mustBeVar(st.Pos(), st.Var, "receive buffer")
-		case *Bcast:
-			checkExpr(st.Pos(), st.Root)
-			mustBeVar(st.Pos(), st.Var, "broadcast buffer")
-		case *Reduce:
-			checkExpr(st.Pos(), st.Root)
-			mustBeVar(st.Pos(), st.Var, "reduce buffer")
-		case *While:
-			checkExpr(st.Pos(), st.Cond)
-		case *If:
-			checkExpr(st.Pos(), st.Cond)
-		}
-		return true
-	})
-	return errors.Join(errs...)
+	return errors.Join(c.errs...)
 }

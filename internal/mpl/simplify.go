@@ -7,6 +7,11 @@ package mpl
 // conditions are preserved). The data-flow analysis uses it to keep
 // resolved rank expressions small, and the printer benefits from tidier
 // output.
+//
+// Simplify copies on change only: when nothing folds, the input node is
+// returned as-is, so results may share structure with the input. Callers
+// must treat both as immutable (every caller already does — simplified
+// expressions are abstract values, never program statements).
 func Simplify(e Expr) Expr {
 	switch x := e.(type) {
 	case nil:
@@ -14,9 +19,14 @@ func Simplify(e Expr) Expr {
 	case *IntLit, *Ident:
 		return e
 	case *Call:
+		changed := false
 		args := make([]Expr, len(x.Args))
 		for i, a := range x.Args {
 			args[i] = Simplify(a)
+			changed = changed || args[i] != a
+		}
+		if !changed {
+			return x
 		}
 		return &Call{Name: x.Name, Args: args}
 	case *Unary:
@@ -38,6 +48,9 @@ func Simplify(e Expr) Expr {
 				return u.X
 			}
 		}
+		if inner == x.X {
+			return x
+		}
 		return &Unary{Op: x.Op, X: inner}
 	case *Binary:
 		l := Simplify(x.L)
@@ -50,6 +63,9 @@ func Simplify(e Expr) Expr {
 		if lOK && rOK {
 			if v, ok := foldBinary(x.Op, ll.Value, rl.Value); ok {
 				return &IntLit{Value: v}
+			}
+			if l == x.L && r == x.R {
+				return x
 			}
 			return &Binary{Op: x.Op, L: l, R: r}
 		}
@@ -94,10 +110,22 @@ func Simplify(e Expr) Expr {
 				return &IntLit{Value: 1}
 			}
 		}
+		if l == x.L && r == x.R {
+			return x
+		}
 		return &Binary{Op: x.Op, L: l, R: r}
 	default:
 		return e
 	}
+}
+
+// FoldBinary evaluates a constant binary operation; ok=false when folding
+// must not happen (division/modulo by zero must fail at runtime, not
+// vanish at analysis time). Exported so the data-flow analysis can fold
+// constant subexpressions during substitution instead of building a Binary
+// node Simplify would immediately collapse.
+func FoldBinary(op string, l, r int) (int, bool) {
+	return foldBinary(op, l, r)
 }
 
 // foldBinary evaluates a constant binary operation; ok=false when folding

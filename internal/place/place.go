@@ -24,9 +24,10 @@ package place
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"strconv"
 
 	"repro/internal/cfg"
+	"repro/internal/dataflow"
 	"repro/internal/insert"
 	"repro/internal/match"
 	"repro/internal/mpl"
@@ -43,6 +44,17 @@ type Options struct {
 	// MaxIterations bounds the move-reanalyze fixpoint. Zero means the
 	// default (100).
 	MaxIterations int
+	// Workers fans the per-checkpoint-node reachability analysis across
+	// goroutines (par.Workers semantics: 0 = GOMAXPROCS, 1 = serial). The
+	// result is identical for every worker count.
+	Workers int
+	// Arena, when non-nil, supplies round-scoped scratch buffers reused
+	// across fixpoint rounds (reset at each round boundary).
+	Arena *cfg.Arena
+	// AssumeOwned lets Ensure mutate the input program directly instead of
+	// cloning it first — for callers (like core.Transform) that already
+	// work on a private copy.
+	AssumeOwned bool
 }
 
 // DefaultOptions enables the loop-preservation optimization.
@@ -110,37 +122,122 @@ type Result struct {
 type analysis struct {
 	enum       *cfg.Enumeration
 	ext        *match.Extended
-	byIndex    map[int][]int // index -> chkpt node ids
-	violations []Violation   // movable violations (honoring PreserveLoops)
-	orderings  []Ordering    // loop-preserved pairs
-	// firstPath is the witness for violations[0].
-	firstPath *match.CausalPath
-	firstFrom int // CFG node id of violations[0].FromStmt's node
-	firstTo   int // CFG node id of violations[0].ToStmt's node
+	cutNodes   []int       // chkpt CFG node ids grouped by straight-cut index
+	cutOff     []int       // group i is cutNodes[cutOff[i]:cutOff[i+1]]
+	violations []Violation // movable violations (honoring PreserveLoops)
+	orderings  []Ordering  // loop-preserved pairs
+	firstFrom  int         // CFG node id of violations[0].FromStmt's node
+	firstTo    int         // CFG node id of violations[0].ToStmt's node
+}
+
+// nodes returns the CFG node ids of straight cut S_i, in node-id order.
+func (a *analysis) nodes(i int) []int { return a.cutNodes[a.cutOff[i]:a.cutOff[i+1]] }
+
+// analyzeScratch carries one Ensure call's reusable analysis buffers across
+// fixpoint rounds. Each analyze call with the same scratch overwrites the
+// previous round's analysis in place — callers that must keep a round's
+// results past the next call (the cleanup probe, Check) pass nil for fresh
+// allocations, and Ensure snapshots InitialViolations before round two.
+type analyzeScratch struct {
+	a          analysis
+	enum       cfg.Enumeration
+	build      cfg.BuildCache
+	cutNodes   []int
+	cutOff     []int
+	cursor     []int
+	violations []Violation
+	orderings  []Ordering
+}
+
+// grownInts returns buf resized to n zeroed entries, reusing its backing
+// array when it is large enough.
+func grownInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]int, n)
 }
 
 // analyze runs enumeration + Phase II + Condition 1 on the current program.
-func analyze(p *mpl.Program, opts Options) (*analysis, error) {
-	enum, err := cfg.Enumerate(p)
-	if err != nil {
+//
+// The data-flow result df is computed once per Ensure and reused across
+// every fixpoint round: Phase III only inserts, moves, and removes
+// checkpoint statements, which carry no assignments, branches, or
+// communication parameters, so reaching definitions and resolved
+// parameters of all other statements are unaffected. A nil df makes
+// analyze compute its own (the verification-only path).
+//
+// Condition 1 is a quadratic pair query over each straight cut's members.
+// Instead of a fresh path search per pair, the per-source causal closures
+// are precomputed once — fanned across Options.Workers goroutines, each
+// source independent, results keyed by node id so the outcome is identical
+// for any worker count — and the pair loop reads the memoized sets.
+func analyze(p *mpl.Program, df *dataflow.Result, opts Options, sc *analyzeScratch) (*analysis, error) {
+	if sc == nil {
+		sc = &analyzeScratch{}
+	}
+	if err := cfg.EnumerateInto(p, &sc.enum); err != nil {
 		return nil, fmt.Errorf("place: %w", err)
 	}
-	ext, err := match.BuildExtended(p, opts.Match)
+	if df == nil {
+		df = dataflow.Analyze(p)
+	}
+	g, err := cfg.BuildCached(p, &sc.build)
 	if err != nil {
 		return nil, err
 	}
-	a := &analysis{
-		enum:    enum,
-		ext:     ext,
-		byIndex: cfg.EnumerateGraph(ext.G, enum),
+	mopts := opts.Match
+	mopts.Arena = opts.Arena
+	ext, err := match.Match(p, g, df, mopts)
+	if err != nil {
+		return nil, err
 	}
-	indexes := make([]int, 0, len(a.byIndex))
-	for i := range a.byIndex {
-		indexes = append(indexes, i)
+	a := &sc.a
+	*a = analysis{enum: &sc.enum, ext: ext}
+
+	// Bucket the checkpoint CFG nodes by straight-cut index with a counting
+	// sort into one flat array: group i is cutNodes[cutOff[i]:cutOff[i+1]].
+	// Node-id order within each group and index order across groups are
+	// inherent to the two passes, so the pair scan below visits violations
+	// in the same deterministic order a sorted per-index map would — with
+	// no map, no sort, and buffers reused across rounds.
+	m := sc.enum.Count
+	sc.cutOff = grownInts(sc.cutOff, m+2)
+	total := 0
+	for _, nd := range g.Nodes {
+		if nd.Kind != cfg.KindChkpt {
+			continue
+		}
+		sc.cutOff[sc.enum.Index[nd.Stmt.ID()]+1]++
+		total++
 	}
-	sort.Ints(indexes)
-	for _, i := range indexes {
-		nodes := a.byIndex[i]
+	for i := 1; i < m+2; i++ {
+		sc.cutOff[i] += sc.cutOff[i-1]
+	}
+	sc.cutNodes = grownInts(sc.cutNodes, total)
+	sc.cursor = grownInts(sc.cursor, m+2)
+	copy(sc.cursor, sc.cutOff)
+	for _, nd := range g.Nodes {
+		if nd.Kind != cfg.KindChkpt {
+			continue
+		}
+		idx := sc.enum.Index[nd.Stmt.ID()]
+		sc.cutNodes[sc.cursor[idx]] = nd.ID
+		sc.cursor[idx]++
+	}
+	a.cutNodes, a.cutOff = sc.cutNodes, sc.cutOff
+	a.violations = sc.violations[:0]
+	a.orderings = sc.orderings[:0]
+
+	if err := ext.PrecomputeReach(sc.cutNodes, opts.Workers); err != nil {
+		return nil, fmt.Errorf("place: %w", err)
+	}
+	for i := 1; i <= m; i++ {
+		nodes := a.nodes(i)
 		for _, from := range nodes {
 			for _, to := range nodes {
 				// from == to is NOT skipped: a single checkpoint statement
@@ -148,23 +245,22 @@ func analyze(p *mpl.Program, opts Options) (*analysis, error) {
 				// message round-trip (e.g. rank 1's instance sends a reply
 				// consumed before rank 0's instance of the same statement),
 				// which violates Condition 1 exactly like a two-statement
-				// pair. FindCausalPath demands at least one message edge, so
-				// the trivial empty path never matches.
-				path := ext.FindCausalPath(from, to)
-				if path == nil {
+				// pair. Causal reachability demands at least one message
+				// edge, so the trivial empty path never matches.
+				if !ext.CausallyReaches(from, to) {
 					continue
 				}
+				needsBack := ext.CausalNeedsBack(from, to)
 				fromStmt := ext.G.Nodes[from].Stmt.ID()
 				toStmt := ext.G.Nodes[to].Stmt.ID()
-				if opts.PreserveLoops && path.HasBackEdge {
+				if opts.PreserveLoops && needsBack {
 					a.orderings = append(a.orderings, Ordering{
 						Index: i, EarlierStmt: fromStmt, LaterStmt: toStmt,
 					})
 					continue
 				}
-				v := Violation{Index: i, FromStmt: fromStmt, ToStmt: toStmt, ViaBackEdge: path.HasBackEdge}
+				v := Violation{Index: i, FromStmt: fromStmt, ToStmt: toStmt, ViaBackEdge: needsBack}
 				if len(a.violations) == 0 {
-					a.firstPath = path
 					a.firstFrom = from
 					a.firstTo = to
 				}
@@ -172,6 +268,7 @@ func analyze(p *mpl.Program, opts Options) (*analysis, error) {
 			}
 		}
 	}
+	sc.violations, sc.orderings = a.violations, a.orderings
 	return a, nil
 }
 
@@ -179,7 +276,10 @@ func analyze(p *mpl.Program, opts Options) (*analysis, error) {
 // checkpoints; run Phase I first otherwise) and returns the transformed
 // program plus the full transformation report.
 func Ensure(p *mpl.Program, opts Options) (*Result, error) {
-	prog := mpl.Clone(p)
+	prog := p
+	if !opts.AssumeOwned {
+		prog = mpl.Clone(p)
+	}
 	res := &Result{}
 
 	eq, err := insert.Equalize(prog)
@@ -188,11 +288,24 @@ func Ensure(p *mpl.Program, opts Options) (*Result, error) {
 	}
 	res.EqualizedStmts = append(res.EqualizedStmts, eq...)
 
-	first, err := analyze(prog, opts)
+	// Data flow is invariant across the fixpoint: rounds only add, move,
+	// or remove checkpoint statements, which carry no assignments,
+	// branches, or parameters. Analyze once, reuse every round. The match
+	// cache likewise carries solver tables and scratch buffers from round
+	// to round (sound for the same reason; see match.RoundCache).
+	df := dataflow.Analyze(prog)
+	if opts.Match.Cache == nil {
+		opts.Match.Cache = &match.RoundCache{}
+	}
+
+	sc := &analyzeScratch{}
+	opts.Arena.Reset()
+	first, err := analyze(prog, df, opts, sc)
 	if err != nil {
 		return nil, err
 	}
-	res.InitialViolations = first.violations
+	// Snapshot: the next analyze round overwrites the scratch-backed slice.
+	res.InitialViolations = append([]Violation(nil), first.violations...)
 
 	cur := first
 	for iter := 0; ; iter++ {
@@ -228,7 +341,8 @@ func Ensure(p *mpl.Program, opts Options) (*Result, error) {
 		}
 		res.EqualizedStmts = append(res.EqualizedStmts, eq...)
 
-		cur, err = analyze(prog, opts)
+		opts.Arena.Reset()
+		cur, err = analyze(prog, df, opts, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -236,14 +350,27 @@ func Ensure(p *mpl.Program, opts Options) (*Result, error) {
 
 	// Cleanup: coalescing adjacent duplicate checkpoints must not
 	// reintroduce violations or imbalance; verify on a clone and keep the
-	// cleaned program only if it stays safe.
-	cleaned := mpl.Clone(prog)
-	if removed := insert.Coalesce(cleaned); removed > 0 {
-		if eq, err := insert.Equalize(cleaned); err == nil && len(eq) == 0 {
-			if after, err := analyze(cleaned, opts); err == nil && len(after.violations) == 0 {
-				prog = cleaned
-				cur = after
-				res.CoalescedStmts = removed
+	// cleaned program only if it stays safe. Skip the clone (and the extra
+	// analysis round) entirely when no adjacent duplicates exist — the
+	// common case, and the clone was a measurable share of the pipeline's
+	// allocations.
+	if hasAdjacentChkpts(prog.Body) {
+		cleaned := mpl.Clone(prog)
+		if removed := insert.Coalesce(cleaned); removed > 0 {
+			if eq, err := insert.Equalize(cleaned); err == nil && len(eq) == 0 {
+				// A fresh scratch so a rejected cleanup does not clobber
+				// cur's scratch-backed enumeration and orderings — but the
+				// CFG build buffers are donated (header copy): cur's graph
+				// is never touched again (only cur.orderings and cur.enum
+				// are read below).
+				opts.Arena.Reset()
+				probe := &analyzeScratch{build: sc.build}
+				sc.build = cfg.BuildCache{}
+				if after, err := analyze(cleaned, df, opts, probe); err == nil && len(after.violations) == 0 {
+					prog = cleaned
+					cur = after
+					res.CoalescedStmts = removed
+				}
 			}
 		}
 	}
@@ -255,6 +382,9 @@ func Ensure(p *mpl.Program, opts Options) (*Result, error) {
 }
 
 func dedupOrderings(in []Ordering) []Ordering {
+	if len(in) == 0 {
+		return nil
+	}
 	seen := make(map[Ordering]bool, len(in))
 	var out []Ordering
 	for _, o := range in {
@@ -294,30 +424,38 @@ func applyMoves(prog *mpl.Program, a *analysis, opts Options) ([]Move, error) {
 	var reach cfg.Bitset
 	if opts.PreserveLoops {
 		moveStmts = []int{g.Nodes[toNode].Stmt.ID()}
-		reach = extendedReachable(a.ext, fromNode, true)
+		reach = a.ext.ReachableExtended(fromNode, true)
 	} else {
-		for _, n := range a.byIndex[index] {
+		for _, n := range a.nodes(index) {
 			moveStmts = append(moveStmts, g.Nodes[n].Stmt.ID())
 		}
+		// Union into a fresh set — ReachableExtended returns the shared
+		// memoized closures, which must stay unmodified.
 		reach = cfg.NewBitset(len(g.Nodes))
-		for _, n := range a.byIndex[index] {
-			reach.UnionWith(extendedReachable(a.ext, n, false))
+		for _, n := range a.nodes(index) {
+			reach.UnionWith(a.ext.ReachableExtended(n, false))
 		}
 	}
 
 	// Dominator chain of toNode, ordered from entry outward. Dominance is
 	// a total order on the chain, so sorting by "dominates" is sound.
 	dom := g.Dominators()
-	var chain []int
-	for _, n := range dom[toNode].Members() {
-		if n == toNode || n == g.Entry {
-			continue
+	chain := dom[toNode].AppendMembers(nil)
+	k := 0
+	for _, n := range chain {
+		if n != toNode && n != g.Entry {
+			chain[k] = n
+			k++
 		}
-		chain = append(chain, n)
 	}
-	sort.Slice(chain, func(i, j int) bool {
-		return cfg.Dominates(dom, chain[i], chain[j])
-	})
+	chain = chain[:k]
+	// Insertion sort by dominance (a total order on a dominator chain);
+	// sort.Slice's reflection-based swapper allocated every round.
+	for i := 1; i < len(chain); i++ {
+		for j := i; j > 0 && cfg.Dominates(dom, chain[j], chain[j-1]); j-- {
+			chain[j], chain[j-1] = chain[j-1], chain[j]
+		}
+	}
 
 	// Walk the chain from the deepest (closest to C_B) position upward and
 	// take the first edge ⟨a,b⟩ whose upstream endpoint the violators
@@ -346,8 +484,7 @@ func applyMoves(prog *mpl.Program, a *analysis, opts Options) ([]Move, error) {
 				ChkptStmt:  moved,
 				Index:      index,
 				BeforeStmt: targetStmt,
-				Reason: fmt.Sprintf("C_%d at stmt #%d reachable from stmt #%d; moved before %s",
-					index, moved, g.Nodes[fromNode].Stmt.ID(), g.Nodes[b].Label),
+				Reason:     moveReason(index, moved, g.Nodes[fromNode].Stmt.ID(), targetStmt),
 			})
 		}
 		return moves, nil
@@ -355,42 +492,50 @@ func applyMoves(prog *mpl.Program, a *analysis, opts Options) ([]Move, error) {
 	return nil, errors.New("place: no movement position found (checkpoint already at program start)")
 }
 
-// extendedReachable returns the set of CFG nodes reachable from start via
-// control and message edges. With acyclic set, backward control edges are
-// excluded — reachability within a single "iteration unrolling", the
-// notion PreserveLoops mode uses.
-func extendedReachable(x *match.Extended, start int, acyclic bool) cfg.Bitset {
-	var backSet map[cfg.Edge]bool
-	if acyclic {
-		backSet = make(map[cfg.Edge]bool)
-		for _, e := range x.G.BackEdges() {
-			backSet[e] = true
-		}
-	}
-	seen := cfg.NewBitset(len(x.G.Nodes))
-	stack := []int{start}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen.Has(v) {
+// moveReason renders a Move's diagnostic without fmt (moves happen every
+// fixpoint round; Sprintf's boxing — and the statement-describing Label
+// rendering before it — showed up in the pipeline profile). The
+// reinsertion point is named by statement id; Move.BeforeStmt carries the
+// same id for tools that want to render the statement.
+func moveReason(index, moved, from, target int) string {
+	b := make([]byte, 0, 72)
+	b = append(b, "C_"...)
+	b = strconv.AppendInt(b, int64(index), 10)
+	b = append(b, " at stmt #"...)
+	b = strconv.AppendInt(b, int64(moved), 10)
+	b = append(b, " reachable from stmt #"...)
+	b = strconv.AppendInt(b, int64(from), 10)
+	b = append(b, "; moved before stmt #"...)
+	b = strconv.AppendInt(b, int64(target), 10)
+	return string(b)
+}
+
+// hasAdjacentChkpts reports whether any statement list of the program
+// contains two immediately-adjacent checkpoint statements — the (cheap)
+// precondition for insert.Coalesce to have any effect.
+func hasAdjacentChkpts(body []mpl.Stmt) bool {
+	prevChkpt := false
+	for _, s := range body {
+		if _, ok := s.(*mpl.Chkpt); ok {
+			if prevChkpt {
+				return true
+			}
+			prevChkpt = true
 			continue
 		}
-		seen.Set(v)
-		for _, e := range x.G.Succs(v) {
-			if acyclic && backSet[e] {
-				continue
+		prevChkpt = false
+		switch st := s.(type) {
+		case *mpl.While:
+			if hasAdjacentChkpts(st.Body) {
+				return true
 			}
-			if !seen.Has(e.To) {
-				stack = append(stack, e.To)
-			}
-		}
-		for _, r := range x.MessagesFrom(v) {
-			if !seen.Has(r) {
-				stack = append(stack, r)
+		case *mpl.If:
+			if hasAdjacentChkpts(st.Then) || hasAdjacentChkpts(st.Else) {
+				return true
 			}
 		}
 	}
-	return seen
+	return false
 }
 
 // moveChkptBefore removes the checkpoint statement chkptID from its block
@@ -474,7 +619,7 @@ func insertBefore(p *mpl.Program, targetID int, stmt mpl.Stmt) bool {
 // the violations and loop-preserved orderings. It is the verification-only
 // entry point (e.g. for programs the user believes are already safe).
 func Check(p *mpl.Program, opts Options) (violations []Violation, orderings []Ordering, err error) {
-	a, err := analyze(p, opts)
+	a, err := analyze(p, nil, opts, nil)
 	if err != nil {
 		return nil, nil, err
 	}

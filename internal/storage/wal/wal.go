@@ -80,18 +80,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats counts store activity since Open.
+// Stats counts store activity since Open. The JSON tags are part of the
+// telemetry snapshot schema (/snapshot.json).
 type Stats struct {
-	Saves       int64 // acknowledged puts
-	Batches     int64 // group commits (fsyncs for data)
-	Rotations   int64
-	Compactions int64
+	Saves       int64 `json:"saves"`   // acknowledged puts
+	Batches     int64 `json:"batches"` // group commits (fsyncs for data)
+	Rotations   int64 `json:"rotations"`
+	Compactions int64 `json:"compactions"`
 	// Recovered counts valid records replayed on Open; TruncatedBytes is
 	// the torn tail discarded; QuarantinedOnOpen counts keys entering
 	// recovery already corrupt.
-	Recovered         int64
-	TruncatedBytes    int64
-	QuarantinedOnOpen int64
+	Recovered         int64 `json:"recovered"`
+	TruncatedBytes    int64 `json:"truncated_bytes"`
+	QuarantinedOnOpen int64 `json:"quarantined_on_open"`
 }
 
 // Store is the sharded group-commit log. It implements storage.Store and

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/storage/wal"
 )
 
 // kindIndex maps an event kind to its slot in the fixed counter array.
@@ -174,6 +175,11 @@ type Config struct {
 	// LagThreshold is the checkpoint-lag alert bar in virtual seconds;
 	// 0 disables lag alerts (the gauge is always exported).
 	LagThreshold float64
+	// WALStats, when set, is sampled at every Snapshot: the store's
+	// durability counters appear as chkptsim_wal_* series in /metrics and
+	// a wal line on the dashboard. Point it at (*wal.Store).Stats. Stores
+	// opened after the aggregator use SetWALStats instead.
+	WALStats func() wal.Stats
 }
 
 func (c *Config) fill() {
@@ -253,24 +259,35 @@ type Aggregator struct {
 	inStorm  bool
 	prevCtr  metrics.Snapshot // previous counters sample
 	ctrDelta map[string]int64 // last-window deltas of counter fields
+	walStats func() wal.Stats // sampled by Snapshot when non-nil
 }
 
 // New builds an aggregator from cfg (zero fields take defaults).
 func New(cfg Config) *Aggregator {
 	cfg.fill()
 	return &Aggregator{
-		cfg:     cfg,
-		start:   time.Now(),
-		procs:   make([]procCell, cfg.Nproc),
-		saveMS:  metrics.NewSketch(),
-		blockMS: metrics.NewSketch(),
-		stallV:  metrics.NewSketch(),
-		ring:    make([]window, cfg.Rings),
+		cfg:      cfg,
+		start:    time.Now(),
+		procs:    make([]procCell, cfg.Nproc),
+		saveMS:   metrics.NewSketch(),
+		blockMS:  metrics.NewSketch(),
+		stallV:   metrics.NewSketch(),
+		ring:     make([]window, cfg.Rings),
+		walStats: cfg.WALStats,
 	}
 }
 
 // Window returns the configured aggregation window.
 func (a *Aggregator) Window() time.Duration { return a.cfg.Window }
+
+// SetWALStats attaches (or replaces, or with nil detaches) the WAL stats
+// source after construction — for callers that open the store only after
+// the telemetry stack is up. Safe to call concurrently with Snapshot.
+func (a *Aggregator) SetWALStats(fn func() wal.Stats) {
+	a.mu.Lock()
+	a.walStats = fn
+	a.mu.Unlock()
+}
 
 // OnEvent implements obs.Observer — the hot path. Purely atomic: no locks,
 // no allocation.

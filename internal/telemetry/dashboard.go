@@ -156,6 +156,17 @@ func RenderSnapshot(w io.Writer, s Snapshot, ansi bool) {
 		}
 	}
 
+	if s.HasWAL {
+		ws := s.WAL
+		ratio := float64(0)
+		if ws.Batches > 0 {
+			ratio = float64(ws.Saves) / float64(ws.Batches)
+		}
+		fmt.Fprintf(w, "wal: saves %-8d batches %-7d (%.1f/commit) rot %-4d compact %-4d recovered %-6d torn-bytes %-8d quarantined %-4d%s",
+			ws.Saves, ws.Batches, ratio, ws.Rotations, ws.Compactions,
+			ws.Recovered, ws.TruncatedBytes, ws.QuarantinedOnOpen, nl)
+	}
+
 	fmt.Fprintf(w, "%-5s %-4s %-9s %-10s %12s %12s%s",
 		"proc", "inc", "state", "events", "vtime", "lag", nl)
 	for _, p := range s.Procs {

@@ -223,6 +223,32 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		}
 	}
 
+	// WAL store durability counters. Omitted entirely when no store is
+	// attached (HasWAL false).
+	if s.HasWAL {
+		ws := s.WAL
+		f = pw.family("chkptsim_wal_saves_total", "counter", "Checkpoint puts acknowledged by the WAL store.")
+		f.add("", float64(ws.Saves))
+		f = pw.family("chkptsim_wal_batches_total", "counter", "WAL group commits (data fsyncs).")
+		f.add("", float64(ws.Batches))
+		f = pw.family("chkptsim_wal_rotations_total", "counter", "WAL segment rotations.")
+		f.add("", float64(ws.Rotations))
+		f = pw.family("chkptsim_wal_compactions_total", "counter", "WAL compactions completed.")
+		f.add("", float64(ws.Compactions))
+		f = pw.family("chkptsim_wal_group_commit_ratio", "gauge", "Acknowledged puts per group commit (amortization of fsync cost).")
+		ratio := float64(0)
+		if ws.Batches > 0 {
+			ratio = float64(ws.Saves) / float64(ws.Batches)
+		}
+		f.add("", ratio)
+		f = pw.family("chkptsim_wal_recovered_records", "gauge", "Valid records replayed at Open.")
+		f.add("", float64(ws.Recovered))
+		f = pw.family("chkptsim_wal_truncated_bytes", "gauge", "Torn-tail bytes discarded at Open.")
+		f.add("", float64(ws.TruncatedBytes))
+		f = pw.family("chkptsim_wal_quarantined_on_open", "gauge", "Keys that entered recovery already corrupt.")
+		f.add("", float64(ws.QuarantinedOnOpen))
+	}
+
 	return pw.render(w)
 }
 

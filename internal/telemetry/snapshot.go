@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/storage/wal"
 )
 
 // ProcStatus is one process's row in a Snapshot.
@@ -74,6 +75,12 @@ type Snapshot struct {
 	HasCounters  bool               `json:"has_counters"`
 	Counters     metrics.Snapshot   `json:"counters"`
 	CounterRates map[string]float64 `json:"counter_rates,omitempty"`
+
+	// WAL is the checkpoint store's durability counters, sampled at
+	// snapshot time from the configured WALStats source. HasWAL is false
+	// (and WAL stays zero) when no store is attached.
+	HasWAL bool      `json:"has_wal"`
+	WAL    wal.Stats `json:"wal"`
 }
 
 // finiteSketch zeroes the ±Inf min/max sentinels of an empty sketch so the
@@ -214,6 +221,10 @@ func (a *Aggregator) Snapshot() Snapshot {
 				s.CounterRates[k] = float64(v) / sec
 			}
 		}
+	}
+	if a.walStats != nil {
+		s.HasWAL = true
+		s.WAL = a.walStats()
 	}
 	return s
 }

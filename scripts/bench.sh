@@ -8,7 +8,14 @@
 #                         absorbing-chain solver;
 #   BENCH_simcore.json  — the simulator hot paths: transport round trip,
 #                         delivery queue, counters contention, transform
-#                         pipeline, end-to-end failure/recovery runs.
+#                         pipeline, end-to-end failure/recovery runs;
+#   BENCH_pipeline.json — the offline analysis pipeline: the aggregate
+#                         transform benchmark its perf targets are pinned
+#                         against (≤1,200 allocs/op and ≥3× wall over the
+#                         pre-arena baseline, see EXPERIMENTS.md), the
+#                         per-phase sub-benchmarks (CFG build / match /
+#                         place) for regression attribution, and the
+#                         generated large-program scaling run.
 #
 # BENCHTIME overrides -benchtime (default 1x: one measured iteration, the
 # smoke setting CI uses; use e.g. BENCHTIME=2s locally for stable numbers).
@@ -41,9 +48,16 @@ run_set sweeps \
 
 # Simulator core: per-message hot paths and end-to-end runs.
 run_set simcore \
-    'BenchmarkTransportRoundTrip|BenchmarkQueuePushPop|BenchmarkCountersInc|BenchmarkTransformPipeline|BenchmarkRuntimeFailureRecovery|BenchmarkMessagesPerCheckpoint' \
+    'BenchmarkTransportRoundTrip|BenchmarkQueuePushPop|BenchmarkCountersInc|BenchmarkTransformPipeline$|BenchmarkRuntimeFailureRecovery|BenchmarkMessagesPerCheckpoint' \
     BENCH_simcore.json \
     ./internal/sim/ ./internal/metrics/ .
+
+# Analysis pipeline: aggregate transform benchmark (the perf-target
+# anchor), per-phase attribution benchmarks, large-program scaling.
+run_set pipeline \
+    'BenchmarkTransformPipeline$|BenchmarkTransformPipelineLarge|BenchmarkPipelineCFGBuild|BenchmarkPipelineMatch|BenchmarkPipelinePlace' \
+    BENCH_pipeline.json \
+    .
 
 # Telemetry: the aggregator's observer-tap hot path (must stay ≤1 alloc/op)
 # and the sketch observe/quantile paths it leans on.
