@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt bench chaos netchaos walchaos verify fuzz telemetry fleet
+.PHONY: all build vet test race check fmt bench chaos netchaos walchaos verify fuzz telemetry fleet prune
 
 all: check
 
@@ -43,12 +43,19 @@ fuzz:
 	$(GO) test -fuzz FuzzEval -fuzztime $(FUZZTIME) ./internal/mpl
 	$(GO) test -fuzz FuzzCFGBuild -fuzztime $(FUZZTIME) ./internal/cfg
 	$(GO) test -fuzz FuzzStraightCutTheorem -fuzztime $(FUZZTIME) ./internal/verify
+	$(GO) test -fuzz FuzzLivenessPrune -fuzztime $(FUZZTIME) ./internal/verify
 	$(GO) test -fuzz FuzzWALRecover -fuzztime $(FUZZTIME) ./internal/storage/wal
 
 # telemetry runs the live-telemetry smoke: chkptsim serving /metrics on an
 # ephemeral port, scraped end-to-end by cmd/telemetryprobe.
 telemetry:
 	./scripts/telemetry_smoke.sh
+
+# prune runs the liveness-pruning A/B smoke: the same program under
+# injected failures with pruned (default) and full (-no-prune)
+# checkpoints must converge to the same state, with nonzero bytes saved.
+prune:
+	./scripts/prune_smoke.sh
 
 # chaos runs the fault-injection soak: fixed seeds, all store kinds,
 # storage faults + generated crash schedules, under the race detector.

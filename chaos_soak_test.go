@@ -48,6 +48,19 @@ func TestChaosSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Jacobi keeps every variable live at its checkpoint sites, so a third
+	// of the seeds run master/worker instead, whose sites have genuinely
+	// dead variables — the matrix must crash and recover from snapshots the
+	// liveness pass actually shrank.
+	repMW, err := core.Transform(corpus.MasterWorker(n), core.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progMW := repMW.Program
+	cleanMW, err := sim.Run(sim.Config{Program: progMW, Nproc: n, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Fleet-wide aggregates: individual seeds may draw empty schedules or
 	// dodge every fault, but across the default 24 seeds the machinery
@@ -57,6 +70,7 @@ func TestChaosSoak(t *testing.T) {
 	var (
 		mu                                                      sync.Mutex
 		totalFaults, totalRetries, totalDegraded, totalRestarts int64
+		totalPruneSaved                                         int64
 	)
 	kinds := map[obs.Kind]int{}
 	// The per-seed runs are independent — every chaos decision is hashed
@@ -104,12 +118,20 @@ func TestChaosSoak(t *testing.T) {
 				crashes := chaos.CrashSchedule(seed, chaos.ScheduleConfig{
 					Nproc: n, Lambda: 1.2, MaxIncarnations: 3, MaxEvents: 35,
 				})
+				// Every fifth seed runs the full-environment A/B lane: crash
+				// convergence must not depend on snapshots being pruned.
+				noPrune := seed%5 == 4
+				p, cleanVars := prog, clean.FinalVars
+				if seed%3 == 2 {
+					p, cleanVars = progMW, cleanMW.FinalVars
+				}
 				res, err := sim.Run(sim.Config{
-					Program:  prog,
+					Program:  p,
 					Nproc:    n,
 					Store:    cst,
 					Crashes:  crashes,
 					Observer: rec,
+					NoPrune:  noPrune,
 					Jitter:   seed,
 					// Storage faults crash processes beyond the schedule; give
 					// recovery generous headroom.
@@ -119,15 +141,20 @@ func TestChaosSoak(t *testing.T) {
 				if err != nil {
 					t.Fatalf("seed %d (%T): %v (schedule %v)", seed, inner, err, crashes)
 				}
-				if !reflect.DeepEqual(clean.FinalVars, res.FinalVars) {
+				if !reflect.DeepEqual(cleanVars, res.FinalVars) {
 					t.Fatalf("seed %d (%T): diverged under chaos\nclean: %v\nchaos: %v",
-						seed, inner, clean.FinalVars, res.FinalVars)
+						seed, inner, cleanVars, res.FinalVars)
+				}
+				if noPrune && res.Metrics.Custom[sim.MetricPruneBytesFull] != 0 {
+					t.Fatalf("seed %d: NoPrune run still recorded prune accounting: %v",
+						seed, res.Metrics.Custom)
 				}
 				st := cst.Stats()
 				mu.Lock()
 				totalFaults += st.Total()
 				totalRetries += int64(res.Metrics.Custom[sim.MetricStoreRetries])
 				totalDegraded += int64(res.Metrics.Custom[sim.MetricRecoveryDegraded])
+				totalPruneSaved += int64(res.Metrics.Custom[sim.MetricPruneBytesSaved])
 				totalRestarts += int64(res.Restarts)
 				for _, e := range rec.Events() {
 					kinds[e.Kind]++
@@ -154,6 +181,9 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if totalRestarts == 0 {
 		t.Error("fleet recorded no restarts — the crash schedules never fired")
+	}
+	if totalPruneSaved == 0 {
+		t.Error("fleet saved no bytes to manifest pruning — the liveness-minimized lane never fired")
 	}
 	for _, want := range []obs.Kind{obs.KindFault, obs.KindRetry, obs.KindScrub, obs.KindDegraded} {
 		if kinds[want] == 0 {

@@ -79,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) (code i
 		jobTmo     = fs.Duration("job-timeout", 30*time.Second, "per-job watchdog timeout")
 		drainAfter = fs.Duration("drain-after", 0, "begin graceful drain after this long (0 = only on signal/stream end)")
 		storeKind  = fs.String("store", "mem", "shared stable storage: mem, wal:DIR (durable group-commit log), or a directory path for the file store")
+		noPrune    = fs.Bool("no-prune", false, "persist full variable environments instead of liveness-minimized checkpoint manifests")
 		eventsOut  = fs.String("events-out", "", "stream structured JSONL fleet+runtime events to this file")
 		telAddr    = fs.String("telemetry-addr", "", "serve live telemetry on this address: /metrics, /snapshot.json, /healthz")
 		telWindow  = fs.Duration("telemetry-window", 250*time.Millisecond, "telemetry aggregation window")
@@ -212,6 +213,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) (code i
 		},
 		RetryBudgetPerJob: *retryBudg,
 		Store:             store,
+		NoPrune:           *noPrune,
 		DrainTimeout:      *drainTmo,
 		JobTimeout:        *jobTmo,
 		Observer:          observer,

@@ -109,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		protoName  = fs.String("protocol", "appl", "checkpointing protocol: appl, sas, cl, cic, uncoord")
 		transform  = fs.Bool("transform", false, "run the offline transformation (phases I-III) before executing")
 		verify     = fs.Bool("verify", true, "verify that every straight cut of the trace is a recovery line")
+		noPrune    = fs.Bool("no-prune", false, "persist full variable environments instead of liveness-minimized checkpoint manifests")
 		interval   = fs.Int("uncoord-interval", 10, "uncoordinated mode: local events between checkpoints")
 		storeKind  = fs.String("store", "mem", "stable storage: mem, incremental, wal:DIR (durable group-commit log), or a directory path for the file store")
 		zz         = fs.Bool("zigzag", false, "run the Netzer-Xu Z-cycle analysis on the recorded trace and report useless checkpoints")
@@ -206,6 +207,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		Program:  prog,
 		Nproc:    *nproc,
 		Failures: failures,
+		NoPrune:  *noPrune,
 		Input:    func(rank, i int) int { return rank + i },
 	}
 	if *virtual {
@@ -412,6 +414,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fmt.Fprintf(stdout, "program %s: n=%d protocol=%s restarts=%d\n",
 		prog.Name, *nproc, *protoName, res.Restarts)
 	fmt.Fprintf(stdout, "metrics: %s\n", res.Metrics)
+	if full := res.Metrics.Custom[sim.MetricPruneBytesFull]; full > 0 {
+		saved := res.Metrics.Custom[sim.MetricPruneBytesSaved]
+		fmt.Fprintf(stdout, "prune: %dB saved of %dB full (%.1f%%), %d dead variable(s) dropped\n",
+			saved, full, 100*float64(saved)/float64(full), res.Metrics.Custom[sim.MetricPruneVarsDropped])
+	}
 	if *virtual {
 		fmt.Fprintf(stdout, "virtual makespan: %.4f s\n", res.VTime)
 	}

@@ -3,9 +3,13 @@
 // transforms each with the three-phase pipeline, systematically explores
 // the transformed program's message-delivery interleavings up to a
 // branching bound, and checks that every straight cut of every explored
-// execution is a recovery line — cross-validated by four independent
-// consistency deciders (vector clocks, structural happened-before, the
-// orphan-message criterion, and Netzer-Xu zigzag paths).
+// execution is a recovery line — cross-validated by five independent
+// deciders: four trace-consistency checks (vector clocks, structural
+// happened-before, the orphan-message criterion, and Netzer-Xu zigzag
+// paths) plus restore equivalence, which re-instantiates the machine from
+// each cut's snapshots — both full and pruned to the per-site liveness
+// manifest — and requires the completed replay to reproduce the original
+// run's FinalVars exactly.
 //
 // Usage:
 //
@@ -13,9 +17,10 @@
 //
 // With -mutate the harness additionally sabotages each transformed
 // program one checkpoint at a time (delete / move across a communication
-// / skew into rank-parity branches) and requires the checker to catch the
-// sabotage; a clean pass additionally requires the delete-mutant
-// detection rate to reach 95%.
+// / skew into rank-parity branches) and each liveness manifest one live
+// variable at a time (prune-drop), and requires the checker to catch the
+// sabotage; a clean pass additionally requires the delete and prune-drop
+// detection rates to reach 95%.
 //
 // Every counterexample line prints the generator sub-seed and schedule
 // needed to replay it deterministically; -replay regenerates one program
@@ -112,10 +117,14 @@ func report(res *verify.Result, mutate, verbose bool, stdout, stderr io.Writer) 
 			fmt.Fprintf(stderr, "chkptverify: delete-mutant detection rate %.1f%% below the 95%% bar\n", 100*del.Rate())
 			code = 1
 		}
+		if pd := res.Mutation[verify.MutPruneDrop]; pd != nil && pd.Rate() < 0.95 {
+			fmt.Fprintf(stderr, "chkptverify: prune-drop detection rate %.1f%% below the 95%% bar\n", 100*pd.Rate())
+			code = 1
+		}
 	}
 	if code == 0 {
-		fmt.Fprintf(stdout, "OK: %d programs, %d executions, %d straight cuts checked — every straight cut is a recovery line\n",
-			res.Programs, res.Executions, res.CutsChecked)
+		fmt.Fprintf(stdout, "OK: %d programs, %d executions, %d straight cuts checked, %d cut restores replayed — every straight cut is a recovery line, full or pruned\n",
+			res.Programs, res.Executions, res.CutsChecked, res.RestoresChecked)
 		if verbose && res.TransformRejected > 0 {
 			fmt.Fprintf(stdout, "   (%d generated programs fell outside the transformable set and were regenerated)\n",
 				res.TransformRejected)

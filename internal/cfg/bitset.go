@@ -53,6 +53,14 @@ func (b Bitset) UnionWith(o Bitset) {
 	}
 }
 
+// AndNotWith removes all bits of o (set difference) — the kill step of the
+// backward liveness transfer function.
+func (b Bitset) AndNotWith(o Bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
 // Equal reports set equality.
 func (b Bitset) Equal(o Bitset) bool {
 	if len(b) != len(o) {

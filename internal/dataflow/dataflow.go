@@ -193,7 +193,6 @@ func Analyze(p *mpl.Program) *Result {
 	a := &analyzer{
 		consts:    make(map[string]int, len(p.Consts)),
 		constLits: make(map[string]mpl.Expr, len(p.Consts)),
-		varIdx:    make(map[string]int, len(p.Vars)),
 		res: &Result{
 			// Sized by statement count: growing the per-statement records
 			// bucket by bucket showed up in the transform profile.
@@ -205,50 +204,17 @@ func Analyze(p *mpl.Program) *Result {
 		a.consts[c.Name] = c.Value
 		a.constLits[c.Name] = mpl.Int(c.Value)
 	}
-	for _, v := range p.Vars {
-		a.slot(v)
-	}
-	// Undeclared assignment/receive targets (possible in hand-built test
-	// programs that skip mpl.Check) get slots too, so the dense state is
-	// total and reads of never-assigned names fall back to the implicit
-	// zero exactly as the sparse representation did.
-	a.collectTargets(p.Body)
+	// The shared VarTable covers declared variables plus undeclared
+	// assignment/receive targets, so the dense state is total and reads of
+	// never-assigned names fall back to the implicit zero exactly as the
+	// sparse representation did.
+	a.varIdx = NewVarTable(p).Index
 	init := make(state, len(a.varIdx))
 	for i := range init {
 		init[i] = zeroLit
 	}
 	a.body(p.Body, init)
 	return a.res
-}
-
-// slot returns the state index for a variable name, assigning one if new.
-func (a *analyzer) slot(name string) int {
-	if i, ok := a.varIdx[name]; ok {
-		return i
-	}
-	i := len(a.varIdx)
-	a.varIdx[name] = i
-	return i
-}
-
-func (a *analyzer) collectTargets(body []mpl.Stmt) {
-	for _, st := range body {
-		switch n := st.(type) {
-		case *mpl.Assign:
-			a.slot(n.Name)
-		case *mpl.Recv:
-			a.slot(n.Var)
-		case *mpl.Bcast:
-			a.slot(n.Var)
-		case *mpl.Reduce:
-			a.slot(n.Var)
-		case *mpl.If:
-			a.collectTargets(n.Then)
-			a.collectTargets(n.Else)
-		case *mpl.While:
-			a.collectTargets(n.Body)
-		}
-	}
 }
 
 // exprSize counts expression nodes (direct recursion; this runs after

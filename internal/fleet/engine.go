@@ -63,6 +63,10 @@ type Config struct {
 	RetryBudgetCap    int64
 	// Store is the shared backing store. Default: fresh in-memory store.
 	Store storage.Store
+	// NoPrune persists full variable environments instead of each job's
+	// liveness-minimized checkpoint manifests (the A/B lane for measuring
+	// what pruning saves fleet-wide).
+	NoPrune bool
 	// DrainTimeout bounds how long drain waits for in-flight jobs before
 	// cancel-parking them. Default 30s.
 	DrainTimeout time.Duration
@@ -398,6 +402,7 @@ func (e *Engine) runJob(jobID int, jobSeed int64, tenant string, business bool) 
 		Program:  corpus.JacobiFig1(cfg.Iters),
 		Nproc:    cfg.Nproc,
 		Store:    ns,
+		NoPrune:  cfg.NoPrune,
 		Input:    func(rank, i int) int { return rank + i },
 		Jitter:   jobSeed | 1, // nonzero: every job explores its own schedule
 		Timeout:  cfg.JobTimeout,

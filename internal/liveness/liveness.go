@@ -1,0 +1,210 @@
+// Package liveness computes live-variable sets at checkpoint sites — the
+// backward dataflow pass that turns "persist the whole environment" into
+// "persist only what recovery can still observe" (ROADMAP item 2, after
+// AutoCheck's data-dependency pruning, arXiv 2408.06082).
+//
+// The analysis is the textbook backward may-analysis over the program's
+// CFG, with two deliberate deviations forced by this system's semantics:
+//
+//   - The exit node is live in EVERY declared-or-assigned variable, not the
+//     empty set. A run's observable output is the full final environment
+//     (Result.FinalVars compares every variable), so any variable that can
+//     reach program exit without being redefined must survive a restore.
+//
+//   - recv/bcast/reduce never kill their target variable. Under the
+//     guarded-boundary semantics an out-of-range peer makes the operation a
+//     no-op that leaves the target unchanged, so the pre-operation value
+//     can flow through; treating the receive as a definition would prune a
+//     variable the no-op path still needs. They do not use the target
+//     either (in-range, the old value is overwritten unread; out-of-range,
+//     liveness flows through from the successors) — except reduce and
+//     bcast, whose root reads the variable it contributes/broadcasts, so
+//     both conservatively count the target as used.
+//
+// Assignment is the only killing statement. Variables pruned from a
+// checkpoint therefore restore safely to their declared initial value
+// (zero, per mpl.NewEnv): a pruned variable is dead at the site, meaning
+// every path to exit redefines it before any use.
+package liveness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/mpl"
+)
+
+// Result holds the per-checkpoint-site live sets of one program.
+type Result struct {
+	// Table is the dense variable universe the analysis ran over — shared
+	// with internal/dataflow so both passes agree on what a "variable" is.
+	Table *dataflow.VarTable
+	// Live maps each checkpoint statement's ID to the sorted names of the
+	// variables live at (i.e. just after) that checkpoint. This is the
+	// snapshot manifest for the site: persisting exactly these variables
+	// and restoring the rest to zero is equivalent to a full-env snapshot.
+	Live map[int][]string
+	// ReadLive is the same analysis solved with the exit node live in
+	// NOTHING: a variable is read-live at a site only when some path
+	// actually reads it before redefining it. Live − ReadLive are the
+	// variables a manifest keeps solely through the everything-is-
+	// observable exit rule — useful when explaining why pruning kept a
+	// variable that no statement ever reads again.
+	ReadLive map[int][]string
+}
+
+// ManifestFor returns the live set for a checkpoint statement id, or nil
+// when the site is unknown (callers treat nil as "persist everything").
+func (r *Result) ManifestFor(stmtID int) []string { return r.Live[stmtID] }
+
+// Compute runs the analysis on a program. See ComputeCached.
+func Compute(p *mpl.Program) (*Result, error) { return ComputeCached(p, nil) }
+
+// ComputeCached is Compute with a recycled CFG build cache (the analysis
+// itself holds no state across calls; the cache only serves cfg.BuildCached
+// — pass nil to build fresh).
+func ComputeCached(p *mpl.Program, c *cfg.BuildCache) (*Result, error) {
+	g, err := cfg.BuildCached(p, c)
+	if err != nil {
+		return nil, fmt.Errorf("liveness: %w", err)
+	}
+	tbl := dataflow.NewVarTable(p)
+	nvars := tbl.Len()
+	nnodes := len(g.Nodes)
+
+	// Per-node use/def sets, then the backward fixpoint over liveIn.
+	use := make([]cfg.Bitset, nnodes)
+	def := make([]cfg.Bitset, nnodes)
+	liveIn := make([]cfg.Bitset, nnodes)
+	for id := 0; id < nnodes; id++ {
+		use[id] = cfg.NewBitset(nvars)
+		def[id] = cfg.NewBitset(nvars)
+		liveIn[id] = cfg.NewBitset(nvars)
+	}
+	addUses := func(set cfg.Bitset, e mpl.Expr) {
+		mpl.WalkExpr(e, func(x mpl.Expr) bool {
+			if id, ok := x.(*mpl.Ident); ok {
+				if slot, ok := tbl.Index[id.Name]; ok {
+					set.Set(slot)
+				}
+			}
+			return true
+		})
+	}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case cfg.KindCompute:
+			switch st := n.Stmt.(type) {
+			case *mpl.Assign:
+				addUses(use[n.ID], st.X)
+				def[n.ID].Set(tbl.Index[st.Name])
+			case *mpl.Work:
+				addUses(use[n.ID], st.Amount)
+			}
+		case cfg.KindBranch:
+			switch st := n.Stmt.(type) {
+			case *mpl.While:
+				addUses(use[n.ID], st.Cond)
+			case *mpl.If:
+				addUses(use[n.ID], st.Cond)
+			}
+		case cfg.KindSend:
+			st := n.Stmt.(*mpl.Send)
+			addUses(use[n.ID], st.Dest)
+			use[n.ID].Set(tbl.Index[st.Var])
+		case cfg.KindRecv:
+			// Guarded-boundary no-op receives keep the old value: no kill,
+			// no use of the target (see the package comment).
+			st := n.Stmt.(*mpl.Recv)
+			addUses(use[n.ID], st.Src)
+		case cfg.KindBcast:
+			st := n.Stmt.(*mpl.Bcast)
+			addUses(use[n.ID], st.Root)
+			use[n.ID].Set(tbl.Index[st.Var])
+		case cfg.KindReduce:
+			st := n.Stmt.(*mpl.Reduce)
+			addUses(use[n.ID], st.Root)
+			use[n.ID].Set(tbl.Index[st.Var])
+		case cfg.KindEntry, cfg.KindExit, cfg.KindChkpt:
+			// No uses, no defs.
+		}
+	}
+
+	// Backward fixpoint: liveOut(n) = ∪ liveIn(succ); liveIn(n) =
+	// use(n) ∪ (liveOut(n) − def(n)). Node ids are assigned in program
+	// order, so sweeping ids high-to-low converges in a couple of rounds.
+	// A checkpoint node has no use/def, so its live-out equals its live-in;
+	// that set — the variables observable after the checkpoint resumes — is
+	// the site's manifest.
+	solve := func(exitAll bool) map[int][]string {
+		for id := 0; id < nnodes; id++ {
+			liveIn[id].Zero()
+		}
+		if exitAll {
+			// Exit is live in everything: the final environment is the
+			// program's observable output.
+			for slot := 0; slot < nvars; slot++ {
+				liveIn[g.Exit].Set(slot)
+			}
+		}
+		out := cfg.NewBitset(nvars)
+		tmp := cfg.NewBitset(nvars)
+		for changed := true; changed; {
+			changed = false
+			for id := nnodes - 1; id >= 0; id-- {
+				if id == g.Exit {
+					continue
+				}
+				out.Zero()
+				for _, e := range g.Succs(id) {
+					out.UnionWith(liveIn[e.To])
+				}
+				tmp.CopyFrom(out)
+				tmp.AndNotWith(def[id])
+				tmp.UnionWith(use[id])
+				if !tmp.Equal(liveIn[id]) {
+					liveIn[id].CopyFrom(tmp)
+					changed = true
+				}
+			}
+		}
+		sets := make(map[int][]string)
+		for _, n := range g.Nodes {
+			if n.Kind != cfg.KindChkpt {
+				continue
+			}
+			var names []string
+			for slot := 0; slot < nvars; slot++ {
+				if liveIn[n.ID].Has(slot) {
+					names = append(names, tbl.Names[slot])
+				}
+			}
+			sort.Strings(names)
+			sets[n.Stmt.ID()] = names
+		}
+		return sets
+	}
+
+	return &Result{Table: tbl, Live: solve(true), ReadLive: solve(false)}, nil
+}
+
+// Prune returns the subset of vars named by manifest (nil manifest returns
+// a copy of vars — "persist everything"). The result is always a fresh map.
+func Prune(vars map[string]int, manifest []string) map[string]int {
+	if manifest == nil {
+		out := make(map[string]int, len(vars))
+		for k, v := range vars {
+			out[k] = v
+		}
+		return out
+	}
+	out := make(map[string]int, len(manifest))
+	for _, name := range manifest {
+		if v, ok := vars[name]; ok {
+			out[name] = v
+		}
+	}
+	return out
+}

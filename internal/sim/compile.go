@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfg"
+	"repro/internal/liveness"
 	"repro/internal/mpl"
 )
 
@@ -78,6 +79,12 @@ type Code struct {
 	Prog   *mpl.Program
 	Instrs []Instr
 	Enum   *cfg.Enumeration
+	// Manifests maps each checkpoint statement's id to the variables live
+	// at that site (sorted), from the backward liveness pass. Keyed by
+	// statement id, not straight-cut index: two checkpoints in different
+	// if-arms can share an index yet have different per-arm live sets. The
+	// runtime persists only manifest variables unless pruning is disabled.
+	Manifests map[int][]string
 }
 
 // Compile lowers a program to instructions. The checkpoint enumeration
@@ -87,7 +94,11 @@ func Compile(p *mpl.Program) (*Code, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	c := &Code{Prog: p, Enum: enum}
+	live, err := liveness.Compute(p)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	c := &Code{Prog: p, Enum: enum, Manifests: live.Live}
 	if err := c.compileBody(p.Body); err != nil {
 		return nil, err
 	}

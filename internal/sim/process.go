@@ -33,6 +33,19 @@ const (
 	HistChkptSaveMS = "chkpt_save_ms"
 )
 
+// Liveness-pruning counter names. Each manifest-pruned checkpoint save adds
+// what a full-environment snapshot of the same state would have cost
+// (MetricPruneBytesFull), how many of those bytes the manifest dropped
+// (MetricPruneBytesSaved), and how many dead variables were excluded
+// (MetricPruneVarsDropped). The prune ratio is saved/full, computed at
+// export time (telemetry's chkptsim_prune_* families); full-env saves —
+// NoPrune runs and protocol-forced checkpoints — touch none of these.
+const (
+	MetricPruneBytesFull   = "prune_bytes_full"
+	MetricPruneBytesSaved  = "prune_bytes_saved"
+	MetricPruneVarsDropped = "prune_vars_dropped"
+)
+
 // GaugeLastSaveVPrefix + rank names the per-process gauge holding the
 // virtual time of the process's most recent completed checkpoint save —
 // the raw signal behind the telemetry layer's checkpoint-lag computation
@@ -108,6 +121,11 @@ type Proc struct {
 	// jitter, when set, yields the goroutine randomly at instruction
 	// boundaries to diversify real-time interleavings (Config.Jitter).
 	jitter *rand.Rand
+
+	// noPrune disables liveness-minimized checkpoint payloads: application
+	// checkpoints persist the full environment, reproducing the
+	// pre-pruning byte counts (Config.NoPrune, the A/B escape hatch).
+	noPrune bool
 
 	// protoState lets a protocol attach arbitrary per-process state.
 	protoState any
@@ -204,7 +222,17 @@ func (p *Proc) restore(s storage.Snapshot) error {
 	}
 	p.pc = pc
 	p.clock = s.Clock.Clone()
-	p.env.Vars = make(map[string]int, len(s.Vars))
+	if s.Manifest == nil {
+		p.env.Vars = make(map[string]int, len(s.Vars))
+	} else {
+		// Pruned snapshot: reconstruct dead variables to their declared
+		// initial value (zero, matching mpl.NewEnv), then overlay the
+		// manifest variables the snapshot actually carries.
+		p.env.Vars = make(map[string]int, len(p.code.Prog.Vars))
+		for _, name := range p.code.Prog.Vars {
+			p.env.Vars[name] = 0
+		}
+	}
 	for k, v := range s.Vars {
 		p.env.Vars[k] = v
 	}
@@ -264,11 +292,32 @@ func (p *Proc) emit(e obs.Event) {
 	p.obsv.OnEvent(e)
 }
 
-// TakeCheckpoint takes a local checkpoint with the given straight-cut
-// index: ticks the clock, records the event, and persists the snapshot.
-// Protocols call it for coordinated and forced checkpoints; the chkpt
-// instruction calls it for application checkpoints.
+// TakeCheckpoint takes a full-environment local checkpoint with the given
+// straight-cut index: ticks the clock, records the event, and persists the
+// snapshot. Protocols call it for coordinated and forced checkpoints —
+// which can land at arbitrary program points where no liveness manifest is
+// known, so they always persist everything. Application chkpt statements go
+// through appCheckpoint, which prunes to the site's manifest.
 func (p *Proc) TakeCheckpoint(idx int) error {
+	return p.takeCheckpoint(idx, nil)
+}
+
+// appCheckpoint takes the checkpoint for an application chkpt instruction,
+// pruned to the site's liveness manifest (unless pruning is disabled or the
+// site has no manifest).
+func (p *Proc) appCheckpoint(in Instr) error {
+	var manifest []string
+	if !p.noPrune {
+		manifest = p.code.Manifests[in.StmtID]
+	}
+	return p.takeCheckpoint(in.Index, manifest)
+}
+
+// takeCheckpoint persists a snapshot holding exactly the manifest variables
+// (nil manifest = the whole environment). Pruned variables restore to their
+// declared initial value — safe because liveness proved every path from
+// this site redefines them before any use.
+func (p *Proc) takeCheckpoint(idx int, manifest []string) error {
 	instance := p.instances[idx]
 	p.instances[idx] = instance + 1
 	p.clock.Tick(p.rank)
@@ -279,9 +328,28 @@ func (p *Proc) TakeCheckpoint(idx int) error {
 	}
 
 	resume := p.resumePC()
-	vars := make(map[string]int, len(p.env.Vars))
-	for k, v := range p.env.Vars {
-		vars[k] = v
+	var vars map[string]int
+	if manifest == nil {
+		vars = make(map[string]int, len(p.env.Vars))
+		for k, v := range p.env.Vars {
+			vars[k] = v
+		}
+	} else {
+		fullBytes := 0
+		for k := range p.env.Vars {
+			fullBytes += len(k) + 8
+		}
+		vars = make(map[string]int, len(manifest))
+		prunedBytes := 0
+		for _, name := range manifest {
+			if v, ok := p.env.Vars[name]; ok {
+				vars[name] = v
+				prunedBytes += len(name) + 8
+			}
+		}
+		p.counters.Inc(MetricPruneBytesFull, fullBytes)
+		p.counters.Inc(MetricPruneBytesSaved, fullBytes-prunedBytes)
+		p.counters.Inc(MetricPruneVarsDropped, len(p.env.Vars)-len(vars))
 	}
 	instances := make(map[int]int, len(p.instances))
 	for k, v := range p.instances {
@@ -298,6 +366,7 @@ func (p *Proc) TakeCheckpoint(idx int) error {
 		RecvSeqs:  append([]int(nil), p.recvSeq...),
 		Instances: instances,
 		VTime:     p.vtime,
+		Manifest:  manifest,
 	}
 	saveStart := p.now()
 	if err := p.store.Save(snap); err != nil {
@@ -572,7 +641,7 @@ func (p *Proc) run() error {
 				return err
 			}
 			if take {
-				if err := p.TakeCheckpoint(in.Index); err != nil {
+				if err := p.appCheckpoint(in); err != nil {
 					return err
 				}
 			}

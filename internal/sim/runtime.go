@@ -149,6 +149,11 @@ type Config struct {
 	// measured durations — which otherwise vary run to run — stay zero in
 	// the canonical event stream.
 	WallClock func() time.Time
+	// NoPrune disables liveness-minimized checkpoint payloads: application
+	// checkpoints persist the full variable environment instead of the
+	// per-site live-set manifest, reproducing pre-pruning byte counts. The
+	// A/B escape hatch behind the CLIs' -no-prune flags.
+	NoPrune bool
 }
 
 // Result reports a completed run.
@@ -309,6 +314,7 @@ func Run(cfg Config) (*Result, error) {
 			procs[r] = newProc(r, code, net, tr, rst, counters, hooksFactory(r, n),
 				cfg.Input, maxSteps, failAfter[r], cfg.Time, vfailAt[r],
 				cfg.Observer, incarnation)
+			procs[r].noPrune = cfg.NoPrune
 			if cfg.Jitter != 0 {
 				procs[r].jitter = rand.New(rand.NewSource(cfg.Jitter + int64(r)*7919 + int64(incarnation)))
 			}

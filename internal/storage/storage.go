@@ -36,6 +36,12 @@ type Snapshot struct {
 	// VTime is the process's virtual clock at checkpoint time (0 when
 	// virtual-time accounting is off).
 	VTime float64 `json:"vtime,omitempty"`
+	// Manifest, when non-nil, records that Vars was pruned to exactly these
+	// live variables (sorted); every other variable restores to its declared
+	// initial value. nil means a full, unpruned environment (the legacy
+	// format). The manifest travels inside the snapshot, so it is covered by
+	// the same CRC as the payload it describes.
+	Manifest []string `json:"manifest,omitempty"`
 }
 
 // clone returns a deep copy so stores never alias caller memory.
@@ -59,6 +65,9 @@ func (s Snapshot) clone() Snapshot {
 		for k, v := range s.Instances {
 			c.Instances[k] = v
 		}
+	}
+	if s.Manifest != nil {
+		c.Manifest = append([]string(nil), s.Manifest...)
 	}
 	return c
 }

@@ -223,6 +223,26 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		}
 	}
 
+	// Liveness-pruning accounting: dedicated families so dashboards plot
+	// the payload reduction directly instead of digging it out of the
+	// generic counter tap. Names mirror sim.MetricPrune* (the string keys
+	// are the contract; telemetry stays below sim in the import graph).
+	// Omitted when pruning never fired — NoPrune runs, runs without a
+	// counters tap, or programs whose manifests keep every variable.
+	if s.HasCounters {
+		if full := s.Counters.Custom["prune_bytes_full"]; full > 0 {
+			saved := s.Counters.Custom["prune_bytes_saved"]
+			f = pw.family("chkptsim_prune_bytes_full_total", "counter", "Bytes the checkpointed environments would occupy unpruned.")
+			f.add("", float64(full))
+			f = pw.family("chkptsim_prune_bytes_saved_total", "counter", "Bytes excluded from checkpoints by liveness-minimized manifests.")
+			f.add("", float64(saved))
+			f = pw.family("chkptsim_prune_vars_dropped_total", "counter", "Dead variables excluded from checkpoint payloads.")
+			f.add("", float64(s.Counters.Custom["prune_vars_dropped"]))
+			f = pw.family("chkptsim_prune_ratio", "gauge", "Fraction of full-environment bytes saved by pruning (saved/full).")
+			f.add("", float64(saved)/float64(full))
+		}
+	}
+
 	// WAL store durability counters. Omitted entirely when no store is
 	// attached (HasWAL false).
 	if s.HasWAL {

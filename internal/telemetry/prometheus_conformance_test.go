@@ -434,6 +434,57 @@ func TestPromConformanceWithCounters(t *testing.T) {
 	}
 }
 
+// TestPromConformancePruneFamilies covers the liveness-pruning families:
+// present with the right arithmetic when pruning fired, absent when the
+// run never pruned (full-environment checkpoints keep the exposition
+// quiet rather than emitting a misleading all-zero ratio).
+func TestPromConformancePruneFamilies(t *testing.T) {
+	ctr := &metrics.Counters{}
+	ctr.Inc("prune_bytes_full", 400)
+	ctr.Inc("prune_bytes_saved", 100)
+	ctr.Inc("prune_vars_dropped", 12)
+	a := telemetry.New(telemetry.Config{Counters: ctr, Window: time.Hour})
+	a.OnEvent(obs.Event{Kind: obs.KindCompute, Proc: 0})
+	a.Tick()
+	var buf bytes.Buffer
+	if err := telemetry.WriteProm(&buf, a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fams := mustParseProm(t, buf.Bytes())
+	for fam, want := range map[string]float64{
+		"chkptsim_prune_bytes_full_total":   400,
+		"chkptsim_prune_bytes_saved_total":  100,
+		"chkptsim_prune_vars_dropped_total": 12,
+		"chkptsim_prune_ratio":              0.25,
+	} {
+		f := fams[fam]
+		if f == nil || len(f.samples) == 0 {
+			t.Errorf("family %s missing", fam)
+			continue
+		}
+		if got := f.samples[0].value; got != want {
+			t.Errorf("%s = %g, want %g", fam, got, want)
+		}
+	}
+
+	// A NoPrune run leaves prune_bytes_full at zero: no prune families.
+	quiet := &metrics.Counters{}
+	quiet.IncAppMessages(1)
+	a2 := telemetry.New(telemetry.Config{Counters: quiet, Window: time.Hour})
+	a2.OnEvent(obs.Event{Kind: obs.KindCompute, Proc: 0})
+	a2.Tick()
+	buf.Reset()
+	if err := telemetry.WriteProm(&buf, a2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fams = mustParseProm(t, buf.Bytes())
+	for _, fam := range []string{"chkptsim_prune_bytes_full_total", "chkptsim_prune_ratio"} {
+		if fams[fam] != nil {
+			t.Errorf("%s exported although pruning never fired", fam)
+		}
+	}
+}
+
 // TestPromNoCountersOmitsTapFamilies: without a tap the tap families must
 // not appear at all (no all-zero noise).
 func TestPromNoCountersOmitsTapFamilies(t *testing.T) {

@@ -17,6 +17,10 @@ type ExploreOptions struct {
 	MaxSchedules int
 	// Budget is the per-execution instruction budget (0 = DefaultBudget).
 	Budget int
+	// LogRestore records per-checkpoint local snapshots and the full send
+	// log on every explored machine, enabling the restore-equivalence
+	// checks (CheckRestores) inside visit callbacks.
+	LogRestore bool
 }
 
 // ExploreResult summarizes one exploration.
@@ -80,7 +84,7 @@ type explorer struct {
 }
 
 func (ex *explorer) fresh() (*Machine, error) {
-	m, err := NewMachine(ex.code, ex.n, ex.input)
+	m, err := newMachine(ex.code, ex.n, ex.input, ex.opts.LogRestore)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -44,7 +45,7 @@ type Counterexample struct {
 	SubSeed  int64
 	Nproc    int
 	Schedule []int
-	Kind     string // "violation", "deadlock", "missing-index", "non-confluent", "error"
+	Kind     string // "violation", "deadlock", "missing-index", "non-confluent", "restore-divergence", "error"
 	Detail   string
 }
 
@@ -82,6 +83,7 @@ type Result struct {
 	Programs          int
 	Executions        int
 	CutsChecked       int
+	RestoresChecked   int // cut restores replayed (full + pruned) for FinalVars equivalence
 	TransformRejected int // generated programs outside Phase III's repair set, regenerated
 	Counterexamples   []Counterexample
 	Mutation          map[MutationKind]*KindStats // non-nil when Options.Mutate
@@ -129,6 +131,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		total.Programs += r.Programs
 		total.Executions += r.Executions
 		total.CutsChecked += r.CutsChecked
+		total.RestoresChecked += r.RestoresChecked
 		total.TransformRejected += r.TransformRejected
 		total.Counterexamples = append(total.Counterexamples, r.Counterexamples...)
 		for kind, ks := range r.Mutation {
@@ -189,26 +192,32 @@ func runOne(sub int64, opts Options) (*Result, error) {
 	}
 	// indexSets[n] is the straight-cut contract at process count n: which
 	// indexes a correct execution checks. The mutation mode compares
-	// mutant runs against it.
+	// mutant runs against it. profile accumulates the (checkpoint site,
+	// variable) pairs observed with non-initial values, feeding the
+	// prune-drop operator's equivalent-mutant filter.
 	indexSets := make(map[int]map[int]bool)
+	profile := make(map[int]map[string]bool)
 	for _, n := range opts.nprocs() {
-		idx, err := verifyProgram(res, sub, code, n, opts)
+		idx, err := verifyProgram(res, sub, code, n, opts, profile)
 		if err != nil {
 			return nil, err
 		}
 		indexSets[n] = idx
 	}
 	if opts.Mutate {
-		runMutation(res, sub, rep.Program, indexSets, opts)
+		runMutation(res, sub, rep.Program, code, profile, indexSets, opts)
 	}
 	return res, nil
 }
 
 // verifyProgram explores one (program, nproc) pair, checking every
-// execution, and returns the set of straight-cut indexes checked.
-func verifyProgram(res *Result, sub int64, code *sim.Code, n int, opts Options) (map[int]bool, error) {
+// execution, and returns the set of straight-cut indexes checked. Besides
+// the four trace deciders it replays every straight cut's restore — full
+// and liveness-pruned — and asserts FinalVars equivalence (the fifth
+// axis), recording non-initial live values into profile along the way.
+func verifyProgram(res *Result, sub int64, code *sim.Code, n int, opts Options, profile map[int]map[string]bool) (map[int]bool, error) {
 	indexes := make(map[int]bool)
-	exOpts := ExploreOptions{Depth: opts.Depth, MaxSchedules: opts.maxSchedules()}
+	exOpts := ExploreOptions{Depth: opts.Depth, MaxSchedules: opts.maxSchedules(), LogRestore: true}
 	er, err := Explore(code, n, DefaultInput, exOpts, func(m *Machine) error {
 		res.Executions++
 		chk, err := CheckTrace(m.Trace())
@@ -231,6 +240,18 @@ func verifyProgram(res *Result, sub int64, code *sim.Code, n int, opts Options) 
 				Detail: v.String(),
 			})
 		}
+		divs, cuts, err := m.checkRestores(nil, modeBoth)
+		if err != nil {
+			return err
+		}
+		res.RestoresChecked += cuts
+		for _, d := range divs {
+			res.Counterexamples = append(res.Counterexamples, Counterexample{
+				SubSeed: sub, Nproc: n, Schedule: m.Schedule(), Kind: "restore-divergence",
+				Detail: d.String(),
+			})
+		}
+		m.liveNonZero(profile)
 		return nil
 	})
 	if err != nil {
@@ -260,16 +281,24 @@ func verifyProgram(res *Result, sub int64, code *sim.Code, n int, opts Options) 
 }
 
 // runMutation sabotages the transformed program one checkpoint at a time
-// and records how each mutant was (or was not) caught.
-func runMutation(res *Result, sub int64, transformed *mpl.Program, indexSets map[int]map[int]bool, opts Options) {
-	for _, mut := range AllMutants(transformed) {
+// — plus, per checkpoint site, one live manifest variable at a time — and
+// records how each mutant was (or was not) caught.
+func runMutation(res *Result, sub int64, transformed *mpl.Program, code *sim.Code, profile map[int]map[string]bool, indexSets map[int]map[int]bool, opts Options) {
+	muts := AllMutants(transformed)
+	muts = append(muts, PruneDropMutants(code.Manifests, profile)...)
+	for _, mut := range muts {
 		ks := res.Mutation[mut.Kind]
 		if ks == nil {
 			ks = &KindStats{}
 			res.Mutation[mut.Kind] = ks
 		}
 		ks.Total++
-		outcome := classifyMutant(mut, indexSets, opts)
+		var outcome string
+		if mut.Kind == MutPruneDrop {
+			outcome = classifyPruneDrop(mut, code, indexSets, opts)
+		} else {
+			outcome = classifyMutant(mut, indexSets, opts)
+		}
 		switch outcome {
 		case "static":
 			ks.CaughtStatic++
@@ -334,6 +363,54 @@ func classifyMutant(mut Mutant, indexSets map[int]map[int]bool, opts Options) st
 		}
 	}
 	return outcome
+}
+
+// errCaught aborts an exploration early once a mutant is detected.
+var errCaught = errors.New("verify: mutant caught")
+
+// classifyPruneDrop runs one prune-drop mutant: the program and its
+// execution are untouched (so the trace deciders and cut contract cannot
+// fire), but the manifests handed to the pruned restore replays are
+// sabotaged — DropVar is removed from site DropStmt's live set. Detection
+// must come from the restore-equivalence axis alone.
+func classifyPruneDrop(mut Mutant, code *sim.Code, indexSets map[int]map[int]bool, opts Options) string {
+	manifests := make(map[int][]string, len(code.Manifests))
+	for id, names := range code.Manifests {
+		manifests[id] = names
+	}
+	dropped := make([]string, 0, len(code.Manifests[mut.DropStmt]))
+	for _, name := range code.Manifests[mut.DropStmt] {
+		if name != mut.DropVar {
+			dropped = append(dropped, name)
+		}
+	}
+	manifests[mut.DropStmt] = dropped
+
+	exOpts := ExploreOptions{Depth: opts.Depth, MaxSchedules: opts.maxSchedules(), LogRestore: true}
+	ns := make([]int, 0, len(indexSets))
+	for n := range indexSets {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		_, err := Explore(code, n, DefaultInput, exOpts, func(m *Machine) error {
+			divs, _, err := m.checkRestores(manifests, modePruned)
+			if err != nil {
+				return err
+			}
+			if len(divs) > 0 {
+				return errCaught
+			}
+			return nil
+		})
+		if errors.Is(err, errCaught) {
+			return "dynamic"
+		}
+		if err != nil {
+			return "runtime"
+		}
+	}
+	return "escaped"
 }
 
 // sameIndexSet compares two straight-cut index sets.

@@ -72,11 +72,51 @@ type procState struct {
 type Machine struct {
 	code     *sim.Code
 	n        int
+	input    func(rank, i int) int
 	procs    []*procState
 	chans    [][][]msg // chans[from][to]
 	tr       *trace.Trace
 	budget   int
 	schedule []int
+
+	// Restore logging (the pruned-restore equivalence axis). When enabled,
+	// the machine records a full local snapshot at every checkpoint event
+	// and keeps every sent message, so any straight cut of the finished
+	// execution can be re-instantiated as a restored machine — chkpts[p]
+	// in event order, sendLog[from][to] in seq order. pending[p] holds the
+	// records still waiting to learn whether each manifest variable's first
+	// dynamic access after the checkpoint is a read or a write (the
+	// prune-drop equivalent-mutant oracle).
+	logRestore bool
+	chkpts     [][]*chkptRecord
+	pending    [][]*chkptRecord
+	sendLog    [][][]msg
+}
+
+// chkptRecord is one process's local state at a checkpoint event — the
+// verify-side analogue of storage.Snapshot, recorded unpruned so restore
+// checks can compare full-env against manifest-pruned reconstruction.
+type chkptRecord struct {
+	index    int // straight-cut index C_i
+	instance int
+	stmtID   int // originating chkpt statement (manifest key)
+	pc       int // resume pc: the instruction after the checkpoint
+	vars     map[string]int
+	clock    vclock.VC
+	sendSeq  []int
+	recvSeq  []int
+	// instances is the per-index checkpoint counter AFTER this event, so a
+	// restored machine numbers subsequent checkpoints like the runtime.
+	instances map[int]int
+	// First-access classification of the site's manifest variables in THIS
+	// instance's continuation, filled in as the clean run executes past the
+	// checkpoint: readFirst holds variables whose first dynamic access was a
+	// read (a pruned restore that zeroed them would be observed), unresolved
+	// those never accessed again (they survive to exit, where FinalVars
+	// observes everything). Variables in neither set were overwritten before
+	// any read — zeroing them at this instance is invisible.
+	readFirst  map[string]bool
+	unresolved map[string]bool
 }
 
 // NewMachine compiles nothing — it instantiates an already compiled
@@ -84,16 +124,33 @@ type Machine struct {
 // visible operation. input supplies the input(i) builtin per rank (nil
 // makes input(...) an evaluation error, matching the runtime).
 func NewMachine(code *sim.Code, n int, input func(rank, i int) int) (*Machine, error) {
+	return newMachine(code, n, input, false)
+}
+
+// newMachine is NewMachine with restore logging optionally enabled from the
+// start — recording must begin before the initial normalization, which can
+// already execute checkpoint statements.
+func newMachine(code *sim.Code, n int, input func(rank, i int) int, logRestore bool) (*Machine, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("verify: need at least 1 process, got %d", n)
 	}
 	m := &Machine{
 		code:   code,
 		n:      n,
+		input:  input,
 		procs:  make([]*procState, n),
 		chans:  make([][][]msg, n),
 		tr:     trace.NewTrace(n),
 		budget: DefaultBudget,
+	}
+	if logRestore {
+		m.logRestore = true
+		m.chkpts = make([][]*chkptRecord, n)
+		m.pending = make([][]*chkptRecord, n)
+		m.sendLog = make([][][]msg, n)
+		for p := 0; p < n; p++ {
+			m.sendLog[p] = make([][]msg, n)
+		}
 	}
 	for p := 0; p < n; p++ {
 		m.chans[p] = make([][]msg, n)
@@ -212,11 +269,16 @@ func (m *Machine) Step(p int) error {
 	switch ps.park.kind {
 	case parkSend:
 		dest := ps.park.peer
+		m.touchRead(p, in.Var)
 		value := ps.env.Vars[in.Var] // send/bcast/reduce all transmit Var
 		seq := ps.sendSeq[dest]
 		ps.sendSeq[dest] = seq + 1
 		ps.clock.Tick(p)
-		m.chans[p][dest] = append(m.chans[p][dest], msg{seq: seq, value: value, clock: ps.clock.Clone()})
+		mg := msg{seq: seq, value: value, clock: ps.clock.Clone()}
+		m.chans[p][dest] = append(m.chans[p][dest], mg)
+		if m.logRestore {
+			m.sendLog[p][dest] = append(m.sendLog[p][dest], mg)
+		}
 		m.tr.Append(trace.Event{
 			Proc: p, Kind: trace.KindSend, Clock: ps.clock,
 			Msg: trace.MessageID{From: p, To: dest, Seq: seq}, Peer: dest,
@@ -233,6 +295,7 @@ func (m *Machine) Step(p int) error {
 		ps.recvSeq[src] = mg.seq + 1
 		switch in.Op {
 		case sim.OpRecv, sim.OpBcast:
+			m.touchWrite(p, in.Var)
 			ps.env.Vars[in.Var] = mg.value
 		case sim.OpReduce:
 			ps.acc += mg.value
@@ -272,6 +335,7 @@ func (m *Machine) advanceAfterLeg(p int, in sim.Instr) error {
 		ps.sub++
 		if ps.sub >= m.n-1 {
 			if in.Op == sim.OpReduce {
+				m.touchRead(p, in.Var) // root folds its own contribution in
 				ps.env.Vars[in.Var] += ps.acc
 				ps.acc = 0
 			}
@@ -294,13 +358,16 @@ func (m *Machine) normalize(p int) error {
 		in := m.code.Instrs[ps.pc]
 		switch in.Op {
 		case sim.OpAssign:
+			m.touchExprReads(p, in.Expr)
 			v, err := mpl.Eval(in.Expr, ps.env)
 			if err != nil {
 				return m.evalErr(p, in, err)
 			}
+			m.touchWrite(p, in.Var)
 			ps.env.Vars[in.Var] = v
 			ps.pc++
 		case sim.OpWork:
+			m.touchExprReads(p, in.Expr)
 			if _, err := mpl.Eval(in.Expr, ps.env); err != nil {
 				return m.evalErr(p, in, err)
 			}
@@ -308,6 +375,7 @@ func (m *Machine) normalize(p int) error {
 		case sim.OpJump:
 			ps.pc = in.Target
 		case sim.OpBranchFalse:
+			m.touchExprReads(p, in.Expr)
 			ok, err := mpl.Truthy(in.Expr, ps.env)
 			if err != nil {
 				return m.evalErr(p, in, err)
@@ -328,8 +396,35 @@ func (m *Machine) normalize(p int) error {
 				Chkpt: trace.Checkpoint{CFGIndex: in.Index, Instance: instance},
 				Label: fmt.Sprintf("C_%d", in.Index),
 			})
+			if m.logRestore {
+				vars := make(map[string]int, len(ps.env.Vars))
+				for k, v := range ps.env.Vars {
+					vars[k] = v
+				}
+				instances := make(map[int]int, len(ps.instances))
+				for k, v := range ps.instances {
+					instances[k] = v
+				}
+				rec := &chkptRecord{
+					index: in.Index, instance: instance, stmtID: in.StmtID,
+					pc: ps.pc + 1, vars: vars, clock: ps.clock.Clone(),
+					sendSeq:    append([]int(nil), ps.sendSeq...),
+					recvSeq:    append([]int(nil), ps.recvSeq...),
+					instances:  instances,
+					readFirst:  make(map[string]bool),
+					unresolved: make(map[string]bool),
+				}
+				for _, name := range m.code.Manifests[in.StmtID] {
+					rec.unresolved[name] = true
+				}
+				m.chkpts[p] = append(m.chkpts[p], rec)
+				if len(rec.unresolved) > 0 {
+					m.pending[p] = append(m.pending[p], rec)
+				}
+			}
 			ps.pc++
 		case sim.OpSend:
+			m.touchExprReads(p, in.Expr)
 			dest, err := mpl.Eval(in.Expr, ps.env)
 			if err != nil {
 				return m.evalErr(p, in, err)
@@ -341,6 +436,7 @@ func (m *Machine) normalize(p int) error {
 			ps.park = park{kind: parkSend, peer: dest}
 			return nil
 		case sim.OpRecv:
+			m.touchExprReads(p, in.Expr)
 			src, err := mpl.Eval(in.Expr, ps.env)
 			if err != nil {
 				return m.evalErr(p, in, err)
@@ -352,6 +448,7 @@ func (m *Machine) normalize(p int) error {
 			ps.park = park{kind: parkRecv, peer: src}
 			return nil
 		case sim.OpBcast, sim.OpReduce:
+			m.touchExprReads(p, in.Expr)
 			root, err := mpl.Eval(in.Expr, ps.env)
 			if err != nil {
 				return m.evalErr(p, in, err)
@@ -388,6 +485,52 @@ func (m *Machine) normalize(p int) error {
 			return fmt.Errorf("verify: process %d: unknown opcode %v", p, in.Op)
 		}
 	}
+}
+
+// touchRead resolves name as read-first in every pending checkpoint record
+// of process p that has not yet seen an access to it.
+func (m *Machine) touchRead(p int, name string) {
+	m.touch(p, name, true)
+}
+
+// touchWrite resolves name as written-first (not recorded — absence from
+// both sets is the classification).
+func (m *Machine) touchWrite(p int, name string) {
+	m.touch(p, name, false)
+}
+
+func (m *Machine) touch(p int, name string, read bool) {
+	if !m.logRestore || len(m.pending[p]) == 0 {
+		return
+	}
+	out := m.pending[p][:0]
+	for _, rec := range m.pending[p] {
+		if rec.unresolved[name] {
+			delete(rec.unresolved, name)
+			if read {
+				rec.readFirst[name] = true
+			}
+		}
+		if len(rec.unresolved) > 0 {
+			out = append(out, rec)
+		}
+	}
+	m.pending[p] = out
+}
+
+// touchExprReads resolves every variable mentioned in e as read. mpl
+// evaluation has no short-circuiting, so the syntactic ident set is exactly
+// the dynamic read set.
+func (m *Machine) touchExprReads(p int, e mpl.Expr) {
+	if !m.logRestore || len(m.pending[p]) == 0 {
+		return
+	}
+	mpl.WalkExpr(e, func(x mpl.Expr) bool {
+		if id, ok := x.(*mpl.Ident); ok {
+			m.touchRead(p, id.Name)
+		}
+		return true
+	})
 }
 
 // nextPeer returns the sub-th peer of a collective's root in ascending

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mpl"
 )
@@ -23,6 +24,12 @@ const (
 	// statically well-formed (both branches hold one checkpoint, so the
 	// enumeration stays balanced) but dynamically unsafe.
 	MutSkew
+	// MutPruneDrop deletes one variable from one checkpoint site's liveness
+	// manifest, so pruned snapshots taken at that site silently lose a live
+	// variable. The program itself is untouched; only the restore-equivalence
+	// axis can catch this class (the four trace deciders never look at
+	// snapshot contents).
+	MutPruneDrop
 )
 
 // String names the kind.
@@ -34,6 +41,8 @@ func (k MutationKind) String() string {
 		return "move"
 	case MutSkew:
 		return "skew"
+	case MutPruneDrop:
+		return "prune-drop"
 	default:
 		return fmt.Sprintf("mutation(%d)", int(k))
 	}
@@ -45,6 +54,12 @@ type Mutant struct {
 	Kind MutationKind
 	Site int // index into the program's checkpoint sites, in body order
 	Desc string
+
+	// Prune-drop mutants leave Prog nil and instead name the manifest entry
+	// to sabotage: the variable DropVar at the checkpoint with statement id
+	// DropStmt.
+	DropStmt int
+	DropVar  string
 }
 
 // chkptSites returns the location of every checkpoint statement, in body
@@ -171,6 +186,33 @@ func AllMutants(p *mpl.Program) []Mutant {
 	out := DeleteMutants(p)
 	out = append(out, MoveMutants(p)...)
 	out = append(out, SkewMutants(p)...)
+	return out
+}
+
+// PruneDropMutants returns one mutant per (checkpoint site, live variable)
+// pair where the clean run's restore log recorded a non-initial value —
+// profile, built by liveNonZero over the explored executions. Dropping a
+// variable that held its initial value at every recorded instance is an
+// equivalent mutant (the pruned restore reconstructs the value exactly), so
+// such pairs are skipped rather than counted as escapes.
+func PruneDropMutants(manifests map[int][]string, profile map[int]map[string]bool) []Mutant {
+	stmts := make([]int, 0, len(manifests))
+	for id := range manifests {
+		stmts = append(stmts, id)
+	}
+	sort.Ints(stmts)
+	var out []Mutant
+	for _, id := range stmts {
+		for _, name := range manifests[id] {
+			if !profile[id][name] {
+				continue
+			}
+			out = append(out, Mutant{
+				Kind: MutPruneDrop, DropStmt: id, DropVar: name,
+				Desc: fmt.Sprintf("drop live variable %q from checkpoint stmt #%d manifest", name, id),
+			})
+		}
+	}
 	return out
 }
 

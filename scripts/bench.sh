@@ -74,9 +74,10 @@ run_set fleet \
     ./internal/fleet/
 
 # Durable stores: 1000-job aggregate save throughput (the WAL's group
-# commit vs the file store's fsync-per-save) plus uncontended save latency.
+# commit vs the file store's fsync-per-save), uncontended save latency, and
+# the liveness-pruned vs full-environment payload/latency comparison.
 run_set store \
-    'BenchmarkStoreAggregateSave|BenchmarkStoreSingleSave' \
+    'BenchmarkStoreAggregateSave|BenchmarkStoreSingleSave|BenchmarkSaveBytesPruned' \
     BENCH_store.json \
     .
 

@@ -40,6 +40,9 @@ go test -race -run 'TestFleetSoak' -count=1 .
 echo '>> telemetry smoke (scripts/telemetry_smoke.sh)'
 ./scripts/telemetry_smoke.sh
 
+echo '>> prune smoke (scripts/prune_smoke.sh)'
+./scripts/prune_smoke.sh
+
 # Opt-in: the benchmark harness is slow relative to the rest of the check
 # and its numbers are machine-dependent, so it only runs when asked for.
 if [ "${CHECK_BENCH:-0}" = "1" ]; then

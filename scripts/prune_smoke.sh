@@ -1,0 +1,83 @@
+#!/bin/sh
+# Prune smoke: the liveness-minimized checkpointing A/B lane. Runs one
+# program whose checkpoint sites have a genuinely dead variable through
+# chkptsim twice — default (pruned) and -no-prune (full environments) —
+# under crash/recovery chaos, and asserts:
+#
+#   1. both runs converge to the SAME final state (recovery from pruned
+#      checkpoints is equivalent to recovery from full ones);
+#   2. the pruned run reports nonzero bytes saved;
+#   3. the -no-prune run reports no prune accounting at all (the flag
+#      reproduces the old full-environment byte counts).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SIM=/tmp/chkptsim_prune.$$
+PROG=/tmp/prune_smoke_prog.$$
+OUT_P=/tmp/prune_smoke_pruned.$$
+OUT_F=/tmp/prune_smoke_full.$$
+trap 'rm -f "$SIM" "$PROG" "$OUT_P" "$OUT_F"' EXIT
+
+echo '>> building chkptsim'
+go build -o "$SIM" ./cmd/chkptsim
+
+# tmp is recomputed at the top of every iteration and zeroed before the
+# loop ends, so it is dead at both checkpoint sites; x, y, iter stay live.
+cat > "$PROG" <<'MPL'
+program prunesmoke
+const MAXITER = 6
+var x, y, tmp, iter
+proc {
+    iter = 0
+    while iter < MAXITER {
+        tmp = x + iter
+        x = tmp + rank
+        if rank % 2 == 0 {
+            chkpt
+            send(rank + 1, x)
+            recv(rank + 1, y)
+        } else {
+            recv(rank - 1, y)
+            send(rank - 1, x)
+            chkpt
+        }
+        tmp = 0
+        iter = iter + 1
+    }
+}
+MPL
+
+echo '>> pruned run (default) with injected failures'
+"$SIM" -n 4 -transform -fail 1:9 -fail 2:14 "$PROG" > "$OUT_P"
+echo '>> full run (-no-prune) with the same failures'
+"$SIM" -n 4 -transform -no-prune -fail 1:9 -fail 2:14 "$PROG" > "$OUT_F"
+
+if ! grep -q '^prune: .* saved of ' "$OUT_P"; then
+    echo 'pruned run reported no prune accounting:' >&2
+    cat "$OUT_P" >&2
+    exit 1
+fi
+if grep -q 'prune_bytes' "$OUT_P" && grep -q 'prune_bytes_saved=0 ' "$OUT_P"; then
+    echo 'pruned run saved zero bytes — the dead variable was not dropped:' >&2
+    cat "$OUT_P" >&2
+    exit 1
+fi
+if grep -q 'prune_bytes\|^prune: ' "$OUT_F"; then
+    echo '-no-prune run still reported prune accounting:' >&2
+    cat "$OUT_F" >&2
+    exit 1
+fi
+
+# Final states must match line for line (both runs print sorted vars).
+STATE_P=$(grep '^  proc ' "$OUT_P")
+STATE_F=$(grep '^  proc ' "$OUT_F")
+if [ "$STATE_P" != "$STATE_F" ]; then
+    echo 'pruned and full runs diverged:' >&2
+    echo "pruned: $STATE_P" >&2
+    echo "full:   $STATE_F" >&2
+    exit 1
+fi
+
+echo "$(grep '^prune: ' "$OUT_P")"
+echo 'prune smoke OK'

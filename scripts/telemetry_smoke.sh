@@ -21,10 +21,12 @@ go build -o "$PROBE" ./cmd/telemetryprobe
 cat > "$PROG" <<'MPL'
 program jacobi
 const MAXITER = 6
-var x, y, iter
+var x, y, tmp, iter
 proc {
     iter = 0
     while iter < MAXITER {
+        tmp = x + iter
+        x = tmp
         if rank % 2 == 0 {
             chkpt
             send(rank + 1, x)
@@ -34,6 +36,7 @@ proc {
             send(rank - 1, x)
             chkpt
         }
+        tmp = 0
         iter = iter + 1
     }
 }
@@ -66,7 +69,7 @@ fi
 
 echo ">> probing $URL"
 "$PROBE" -url "$URL" -timeout 5s -min-events 1 \
-    -want chkptsim_events_total,chkptsim_healthy,chkptsim_counter_total,chkptsim_proc_events_total,chkptsim_health_stalls_total
+    -want chkptsim_events_total,chkptsim_healthy,chkptsim_counter_total,chkptsim_proc_events_total,chkptsim_health_stalls_total,chkptsim_prune_bytes_saved_total,chkptsim_prune_ratio
 
 kill "$SIM_PID" 2>/dev/null || true
 wait "$SIM_PID" 2>/dev/null || true

@@ -10,6 +10,7 @@ package repro_test
 // where batching cannot help and only the per-save protocol differs.
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
@@ -35,6 +36,8 @@ func benchStore(b *testing.B, kind string) storage.Store {
 			b.Fatal(err)
 		}
 		return fs
+	case "incremental":
+		return storage.NewIncremental(8)
 	default:
 		b.Fatalf("unknown store kind %q", kind)
 		return nil
@@ -78,6 +81,70 @@ func BenchmarkStoreAggregateSave(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "saves/s")
 		})
+	}
+}
+
+// pruneBenchSnap models the liveness-minimized checkpoint shape: a stencil
+// process whose environment holds 12 variables of which only 4 are live at
+// the checkpoint site (the grid interior was folded into halos and
+// accumulators before the site). The pruned variant is exactly what
+// sim's runtime persists for an application checkpoint: manifest variables
+// only, with the manifest recorded inside the snapshot.
+func pruneBenchSnap(proc, instance int, pruned bool) storage.Snapshot {
+	clk := vclock.New(4)
+	clk[0] = uint64(instance + 1)
+	manifest := []string{"acc", "halo_l", "halo_r", "iter"}
+	vars := map[string]int{
+		"acc": proc + instance, "halo_l": instance, "halo_r": instance + 1, "iter": instance,
+	}
+	s := storage.Snapshot{
+		Proc: proc, CFGIndex: 1, Instance: instance,
+		Clock: clk,
+		PC:    fmt.Sprintf("s%d", instance),
+	}
+	if pruned {
+		s.Vars, s.Manifest = vars, manifest
+		return s
+	}
+	for i := 0; i < 8; i++ {
+		vars[fmt.Sprintf("grid%d", i)] = proc*100 + instance + i
+	}
+	s.Vars = vars
+	return s
+}
+
+// BenchmarkSaveBytesPruned pins the payload reduction and save latency of
+// manifest-pruned checkpoints against full-environment ones, per store
+// kind. payload_B/op is the serialized snapshot size each save persists;
+// for the incremental store delta_B/op additionally shows how much smaller
+// the delta chain gets when dead variables never enter it. BENCH_store.json
+// records the results via scripts/bench.sh; `-no-prune` on the CLIs
+// reproduces the full-lane byte counts end to end.
+func BenchmarkSaveBytesPruned(b *testing.B) {
+	for _, kind := range []string{"file", "incremental", "wal"} {
+		for _, mode := range []string{"full", "pruned"} {
+			b.Run(kind+"/"+mode, func(b *testing.B) {
+				st := benchStore(b, kind)
+				pruned := mode == "pruned"
+				sample, err := json.Marshal(pruneBenchSnap(0, 1_000_000, pruned))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := st.Save(pruneBenchSnap(0, i, pruned)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(len(sample)), "payload_B/op")
+				if inc, ok := st.(*storage.Incremental); ok {
+					stats := inc.Stats()
+					b.ReportMetric(float64(stats.FullBytes+stats.DeltaBytes)/float64(b.N), "delta_B/op")
+				}
+			})
+		}
 	}
 }
 

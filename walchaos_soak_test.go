@@ -32,15 +32,28 @@ import (
 
 type walKey struct{ proc, index, instance int }
 
+// walOrd recovers the workload ordinal a key was minted from (ord%8 is the
+// proc, ord/8 the index), so checks can recompute per-key lane choices.
+func walOrd(k walKey) int { return k.index*8 + k.proc }
+
+// walPruned selects the liveness-pruned lane: every third ordinal writes a
+// manifest-carrying snapshot, the shape the runtime persists for
+// application checkpoints.
+func walPruned(ord int) bool { return ord%3 == 2 }
+
 func walSnap(k walKey, val int) storage.Snapshot {
 	clk := vclock.New(k.proc + 1)
 	clk[k.proc] = uint64(val)
-	return storage.Snapshot{
+	s := storage.Snapshot{
 		Proc: k.proc, CFGIndex: k.index, Instance: k.instance,
 		Clock: clk,
 		Vars:  map[string]int{"v": val},
 		PC:    fmt.Sprintf("pc%d", val),
 	}
+	if walPruned(walOrd(k)) {
+		s.Manifest = []string{"v"}
+	}
+	return s
 }
 
 // walLedger tracks, under lock, what the workload was told: which saves
@@ -75,6 +88,13 @@ func (l *walLedger) verify(t *testing.T, w *wal.Store, seed int64, round int) []
 			if s.Vars["v"] != want || s.PC != fmt.Sprintf("pc%d", want) {
 				t.Fatalf("seed %d round %d: acked save %v recovered with WRONG contents: got v=%d want %d",
 					seed, round, k, s.Vars["v"], want)
+			}
+			// Pruned-lane oracle: an acked pruned checkpoint must keep its
+			// manifest (it is inside the CRC'd payload) and every live
+			// variable — the v check above — across crash and reopen.
+			if pruned := walPruned(walOrd(k)); pruned != (len(s.Manifest) == 1 && s.Manifest[0] == "v") {
+				t.Fatalf("seed %d round %d: acked save %v recovered with manifest %v, pruned-lane=%v",
+					seed, round, k, s.Manifest, pruned)
 			}
 		case errors.Is(err, storage.ErrCorrupt):
 			// Acceptable only because flips model media rot of the body;
